@@ -1,0 +1,74 @@
+// Command fsmoe-profile runs the §6.2 / Fig. 5 profiling workflow: it
+// microbenchmarks each collective and GEMM across the paper's size grid on
+// a simulated testbed, fits linear performance models by least squares,
+// and prints the coefficients with their R². Optionally it also profiles a
+// real CPU GEMM (the online module-profiling path of §3.2).
+//
+// Usage:
+//
+//	fsmoe-profile            # both testbeds
+//	fsmoe-profile -cpu       # additionally time a real CPU matmul and fit it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func main() {
+	cpu := flag.Bool("cpu", false, "also profile a real CPU GEMM via wall-clock timing")
+	flag.Parse()
+
+	for _, c := range []*topology.Cluster{topology.TestbedA(), topology.TestbedB()} {
+		cm, err := perfmodel.ProfileCluster(c)
+		if err != nil {
+			fatal(err)
+		}
+		tb := report.NewTable(
+			fmt.Sprintf("Testbed %s (%d nodes × %d GPUs)", c.Name, c.Nodes, c.GPUsPerNode),
+			"model", "alpha_ms", "beta", "R2", "samples")
+		row := func(name string, f perfmodel.Fitted) {
+			tb.AddRow(name, fmt.Sprintf("%.3e", f.Alpha), fmt.Sprintf("%.3e", f.Beta),
+				fmt.Sprintf("%.6f", f.R2), f.N)
+		}
+		row("AlltoAll (2DH)", cm.A2A)
+		row("AlltoAll (flat)", cm.A2AFlat)
+		row("AllGather", cm.AG)
+		row("ReduceScatter", cm.RS)
+		row("AllReduce", cm.AR)
+		row("GEMM", cm.GEMM)
+		fmt.Println(tb)
+	}
+
+	if *cpu {
+		fmt.Println("Profiling real CPU GEMM (n×n @ n×n), fitting t = α + β·n³ ...")
+		rng := xrand.New(1)
+		sizes := []int{32, 48, 64, 96, 128}
+		cubes := make([]int, len(sizes))
+		mats := map[int][2]*tensor.Tensor{}
+		for i, n := range sizes {
+			cubes[i] = n * n * n
+			mats[n*n*n] = [2]*tensor.Tensor{tensor.RandN(rng, 1, n, n), tensor.RandN(rng, 1, n, n)}
+		}
+		fit, err := perfmodel.ProfileFunc(cubes, 5, func(cube int) {
+			ab := mats[cube]
+			tensor.MatMul(ab[0], ab[1])
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cpu-gemm: alpha=%.4f ms, beta=%.3e ms/MAC, R2=%.4f\n", fit.Alpha, fit.Beta, fit.R2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsmoe-profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command fsmoe-sim simulates one configured MoE layer under a chosen
+// scheduling system and prints the resulting discrete-event timeline as an
+// ASCII Gantt chart — the textual analogue of the paper's Fig. 3.
+//
+// Usage:
+//
+//	fsmoe-sim -testbed A -system fsmoe -B 4 -L 1024 -M 1600 -hscale 4 -f 1.2
+//	fsmoe-sim -system all        # all six systems side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	testbed := flag.String("testbed", "A", "testbed preset: A or B")
+	system := flag.String("system", "all", "dsmoe|tutel|tutel-improved|pipemoe-lina|fsmoe-no-iio|fsmoe|all")
+	b := flag.Int("B", 4, "samples per GPU")
+	l := flag.Int("L", 1024, "tokens per sample")
+	m := flag.Int("M", 1600, "embedding size")
+	hscale := flag.Int("hscale", 4, "H = hscale*M")
+	nheads := flag.Int("nheads", 16, "attention heads")
+	k := flag.Int("k", 2, "top-k experts per token")
+	f := flag.Float64("f", 1.2, "capacity factor (0 = f=∗, no dropping)")
+	ffn := flag.String("ffn", "simple", "expert type: simple|mixtral")
+	width := flag.Int("width", 110, "gantt width in columns")
+	flag.Parse()
+
+	var cluster *topology.Cluster
+	switch *testbed {
+	case "A", "a":
+		cluster = topology.TestbedA()
+	case "B", "b":
+		cluster = topology.TestbedB()
+	default:
+		fatal(fmt.Errorf("unknown testbed %q", *testbed))
+	}
+	ffnType := workload.FFNSimple
+	if *ffn == "mixtral" {
+		ffnType = workload.FFNMixtral
+	}
+	cfg := workload.Config{B: *b, L: *l, M: *m, NHScale: *hscale, NHeads: *nheads, K: *k, F: *f, FFN: ffnType}
+	scenario, err := topology.CanonicalScenario(cluster, 1)
+	if err != nil {
+		fatal(err)
+	}
+	models := core.ModelsFromCluster(cluster)
+	v := workload.VolumesFor(cfg, scenario)
+	fmt.Printf("config %s on testbed %s (N_MP=N_ESP=%d, N_EP=%d)\n", cfg, cluster.Name, scenario.NMP, scenario.NEP)
+	fmt.Printf("volumes: a2a=%.1fMB esp=%.1fMB expert=%.2fGMAC grads=%.1fMB\n\n",
+		v.NA2A/1e6, v.NAG/1e6, v.ExpMACs/1e9, v.GradBytes/1e6)
+
+	systems := core.AllSystems()
+	if *system != "all" {
+		systems = []core.System{core.System(*system)}
+	}
+	for _, sys := range systems {
+		res, err := models.SimulateSingleLayer(v, sys, core.BuildOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("--- %s (fwd r=%d, bwd r=%d) ---\n", sys, res.DegFwd[0], res.DegBwd[0])
+		fmt.Print(res.Trace.Gantt(*width))
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsmoe-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package fsmoe is the public API of the FSMoE reproduction: a flexible
+// MoE layer toolkit (five gating functions, two ordering functions, two
+// expert types, six hook points) plus the scheduling system the paper
+// contributes (Algorithm 1's adaptive pipeline degrees, inter/intra-node
+// communication co-scheduling, and adaptive gradient partitioning),
+// evaluated on simulated testbeds.
+//
+// Building a layer (§3.3's front-end):
+//
+//	layer, err := fsmoe.NewLayer(fsmoe.LayerConfig{
+//	    M: 64, H: 256, Experts: 8, TopK: 2, CapacityFactor: 1.2,
+//	    Gate: fsmoe.GateGShard, Order: fsmoe.OrderTutel,
+//	    Expert: fsmoe.ExpertGPT, Seed: 42,
+//	})
+//	y, cache, err := layer.Forward(x, true)
+//	dx, err := layer.Backward(cache, dy)
+//
+// Scheduling a model on a testbed (§4–§6's back-end):
+//
+//	cluster := fsmoe.TestbedA()
+//	times, err := fsmoe.CompareSystems(cluster, fsmoe.Mixtral7B(cluster))
+//	fmt.Println(times[fsmoe.SystemFSMoE], times[fsmoe.SystemDSMoE])
+package fsmoe

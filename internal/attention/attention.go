@@ -1,0 +1,292 @@
+// Package attention implements the multi-head self-attention and layer
+// normalization that surround every MoE layer in the paper's models
+// (Fig. 1: "Attention → MoE"). Like internal/moe, everything runs for real
+// on CPU tensors with exact manual backward passes, so the full
+// transformer block of internal/transformer trains end to end.
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Param mirrors moe.Param: a trainable weight and its gradient.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+func newParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape()...)}
+}
+
+// MultiHead is standard multi-head self-attention: four square
+// projections (Q, K, V, output) and scaled dot-product attention per head,
+// optionally causally masked.
+type MultiHead struct {
+	m, heads, dh   int
+	causal         bool
+	wq, wk, wv, wo *Param
+}
+
+// Cache holds the forward intermediates Backward needs.
+type Cache struct {
+	x       *tensor.Tensor // (B·L, M)
+	b, l    int
+	q, k, v *tensor.Tensor   // (B·L, M)
+	att     []*tensor.Tensor // per (batch, head): (L, L) softmax weights
+	ctx     *tensor.Tensor   // (B·L, M) concatenated head outputs
+}
+
+// NewMultiHead constructs the module. m must be divisible by heads.
+func NewMultiHead(m, heads int, causal bool, rng *xrand.RNG) (*MultiHead, error) {
+	if m <= 0 || heads <= 0 || m%heads != 0 {
+		return nil, fmt.Errorf("attention: M=%d must be positive and divisible by heads=%d", m, heads)
+	}
+	return &MultiHead{
+		m: m, heads: heads, dh: m / heads, causal: causal,
+		wq: newParam("attn.wq", tensor.Xavier(rng, m, m)),
+		wk: newParam("attn.wk", tensor.Xavier(rng, m, m)),
+		wv: newParam("attn.wv", tensor.Xavier(rng, m, m)),
+		wo: newParam("attn.wo", tensor.Xavier(rng, m, m)),
+	}, nil
+}
+
+// Params returns the four projection matrices.
+func (a *MultiHead) Params() []*Param { return []*Param{a.wq, a.wk, a.wv, a.wo} }
+
+// ZeroGrad clears the gradient accumulators.
+func (a *MultiHead) ZeroGrad() {
+	for _, p := range a.Params() {
+		p.G.Zero()
+	}
+}
+
+// FwdMACs returns the forward multiply-accumulate count for the given
+// batch shape: four projections plus the two (L×L) attention GEMMs.
+func (a *MultiHead) FwdMACs(b, l int) float64 {
+	n := float64(b * l)
+	proj := 4 * n * float64(a.m) * float64(a.m)
+	scores := 2 * float64(b) * float64(l) * float64(l) * float64(a.m)
+	return proj + scores
+}
+
+// headSlice views rows of a (B·L, M) tensor for batch bi restricted to
+// head h as an (L, dh) tensor (copied; heads are strided in memory).
+func (a *MultiHead) headSlice(t *tensor.Tensor, bi, h, l int) *tensor.Tensor {
+	out := tensor.New(l, a.dh)
+	for i := 0; i < l; i++ {
+		src := t.Row(bi*l + i)[h*a.dh : (h+1)*a.dh]
+		copy(out.Row(i), src)
+	}
+	return out
+}
+
+func (a *MultiHead) headScatter(dst *tensor.Tensor, src *tensor.Tensor, bi, h, l int) {
+	for i := 0; i < l; i++ {
+		copy(dst.Row(bi*l + i)[h*a.dh:(h+1)*a.dh], src.Row(i))
+	}
+}
+
+// Forward runs attention over x shaped (B, L, M) and returns (B, L, M).
+func (a *MultiHead) Forward(x *tensor.Tensor) (*tensor.Tensor, *Cache, error) {
+	if x.Rank() != 3 || x.Dim(2) != a.m {
+		return nil, nil, fmt.Errorf("attention: input must be (B, L, %d), got %v", a.m, x.Shape())
+	}
+	b, l := x.Dim(0), x.Dim(1)
+	flat := x.Reshape(b*l, a.m)
+	q := tensor.MatMul(flat, a.wq.W)
+	k := tensor.MatMul(flat, a.wk.W)
+	v := tensor.MatMul(flat, a.wv.W)
+	ctx := tensor.New(b*l, a.m)
+	cache := &Cache{x: flat, b: b, l: l, q: q, k: k, v: v, ctx: ctx}
+	scale := 1 / math.Sqrt(float64(a.dh))
+	for bi := 0; bi < b; bi++ {
+		for h := 0; h < a.heads; h++ {
+			qh := a.headSlice(q, bi, h, l)
+			kh := a.headSlice(k, bi, h, l)
+			vh := a.headSlice(v, bi, h, l)
+			scores := tensor.Scale(tensor.MatMulT2(qh, kh), scale) // (L, L)
+			if a.causal {
+				maskCausal(scores)
+			}
+			att := tensor.SoftmaxRows(scores)
+			cache.att = append(cache.att, att)
+			a.headScatter(ctx, tensor.MatMul(att, vh), bi, h, l)
+		}
+	}
+	out := tensor.MatMul(ctx, a.wo.W)
+	return out.Reshape(b, l, a.m), cache, nil
+}
+
+func maskCausal(scores *tensor.Tensor) {
+	l := scores.Dim(0)
+	ninf := math.Inf(-1)
+	for i := 0; i < l; i++ {
+		row := scores.Row(i)
+		for j := i + 1; j < l; j++ {
+			row[j] = ninf
+		}
+	}
+}
+
+// Backward propagates dy (B, L, M), accumulating all projection gradients,
+// and returns dx (B, L, M).
+func (a *MultiHead) Backward(cache *Cache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	b, l := cache.b, cache.l
+	if dy.Rank() != 3 || dy.Dim(0) != b || dy.Dim(1) != l || dy.Dim(2) != a.m {
+		return nil, fmt.Errorf("attention: dy shape %v", dy.Shape())
+	}
+	dflat := dy.Reshape(b*l, a.m)
+	// out = ctx @ Wo.
+	tensor.AddInPlace(a.wo.G, tensor.MatMulT1(cache.ctx, dflat))
+	dctx := tensor.MatMulT2(dflat, a.wo.W)
+
+	dq := tensor.New(b*l, a.m)
+	dk := tensor.New(b*l, a.m)
+	dv := tensor.New(b*l, a.m)
+	scale := 1 / math.Sqrt(float64(a.dh))
+	for bi := 0; bi < b; bi++ {
+		for h := 0; h < a.heads; h++ {
+			att := cache.att[bi*a.heads+h]
+			qh := a.headSlice(cache.q, bi, h, l)
+			kh := a.headSlice(cache.k, bi, h, l)
+			vh := a.headSlice(cache.v, bi, h, l)
+			dctxh := a.headSlice(dctx, bi, h, l)
+			// ctx_h = att @ v_h.
+			dAtt := tensor.MatMulT2(dctxh, vh) // (L, L)
+			dvh := tensor.MatMulT1(att, dctxh) // (L, dh)
+			// att = softmax(scores): row-wise jacobian.
+			dScores := tensor.New(l, l)
+			for i := 0; i < l; i++ {
+				w := att.Row(i)
+				dw := dAtt.Row(i)
+				dot := 0.0
+				for j := range w {
+					dot += w[j] * dw[j]
+				}
+				ds := dScores.Row(i)
+				for j := range w {
+					ds[j] = w[j] * (dw[j] - dot)
+				}
+			}
+			// scores = scale · q_h k_hᵀ (masked entries have zero att and
+			// therefore zero dScores — no special handling needed).
+			dqh := tensor.Scale(tensor.MatMul(dScores, kh), scale)
+			dkh := tensor.Scale(tensor.MatMulT1(dScores, qh), scale)
+			a.headScatter(dq, dqh, bi, h, l)
+			a.headScatter(dk, dkh, bi, h, l)
+			a.headScatter(dv, dvh, bi, h, l)
+		}
+	}
+	tensor.AddInPlace(a.wq.G, tensor.MatMulT1(cache.x, dq))
+	tensor.AddInPlace(a.wk.G, tensor.MatMulT1(cache.x, dk))
+	tensor.AddInPlace(a.wv.G, tensor.MatMulT1(cache.x, dv))
+	dx := tensor.MatMulT2(dq, a.wq.W)
+	tensor.AddInPlace(dx, tensor.MatMulT2(dk, a.wk.W))
+	tensor.AddInPlace(dx, tensor.MatMulT2(dv, a.wv.W))
+	return dx.Reshape(b, l, a.m), nil
+}
+
+// LayerNorm normalizes the last dimension with learned gain and bias.
+type LayerNorm struct {
+	m     int
+	eps   float64
+	gamma *Param
+	beta  *Param
+}
+
+// LNCache holds the normalization intermediates.
+type LNCache struct {
+	xhat *tensor.Tensor // normalized inputs, same shape flattened (N, M)
+	ivar []float64      // 1/sqrt(var+eps) per row
+	rows int
+}
+
+// NewLayerNorm constructs a LayerNorm over feature size m.
+func NewLayerNorm(m int) *LayerNorm {
+	gamma := tensor.New(m)
+	gamma.Fill(1)
+	return &LayerNorm{m: m, eps: 1e-5, gamma: newParam("ln.gamma", gamma), beta: newParam("ln.beta", tensor.New(m))}
+}
+
+// Params returns gamma and beta.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.gamma, ln.beta} }
+
+// ZeroGrad clears the gradient accumulators.
+func (ln *LayerNorm) ZeroGrad() {
+	ln.gamma.G.Zero()
+	ln.beta.G.Zero()
+}
+
+// Forward normalizes x over its last dimension, preserving shape.
+func (ln *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, *LNCache, error) {
+	if x.Dim(x.Rank()-1) != ln.m {
+		return nil, nil, fmt.Errorf("layernorm: feature dim %d, want %d", x.Dim(x.Rank()-1), ln.m)
+	}
+	shape := x.Shape()
+	flat := x.Reshape(-1, ln.m)
+	n := flat.Dim(0)
+	out := tensor.New(n, ln.m)
+	cache := &LNCache{xhat: tensor.New(n, ln.m), ivar: make([]float64, n), rows: n}
+	for i := 0; i < n; i++ {
+		row := flat.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(ln.m)
+		variance := 0.0
+		for _, v := range row {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= float64(ln.m)
+		iv := 1 / math.Sqrt(variance+ln.eps)
+		cache.ivar[i] = iv
+		xh := cache.xhat.Row(i)
+		o := out.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * iv
+			o[j] = xh[j]*ln.gamma.W.At(j) + ln.beta.W.At(j)
+		}
+	}
+	outShaped := out.Reshape(shape...)
+	return outShaped, cache, nil
+}
+
+// Backward propagates dy through the normalization, accumulating
+// gamma/beta gradients, and returns dx with dy's shape.
+func (ln *LayerNorm) Backward(cache *LNCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	shape := dy.Shape()
+	dflat := dy.Reshape(-1, ln.m)
+	if dflat.Dim(0) != cache.rows {
+		return nil, fmt.Errorf("layernorm: dy rows %d, cached %d", dflat.Dim(0), cache.rows)
+	}
+	dx := tensor.New(cache.rows, ln.m)
+	mf := float64(ln.m)
+	for i := 0; i < cache.rows; i++ {
+		dyRow := dflat.Row(i)
+		xh := cache.xhat.Row(i)
+		iv := cache.ivar[i]
+		// dxhat = dy * gamma; standard layernorm backward:
+		// dx = (1/m)·iv·(m·dxhat − Σdxhat − xhat·Σ(dxhat·xhat)).
+		var sum1, sum2 float64
+		dxhat := make([]float64, ln.m)
+		for j, d := range dyRow {
+			ln.gamma.G.Set(ln.gamma.G.At(j)+d*xh[j], j)
+			ln.beta.G.Set(ln.beta.G.At(j)+d, j)
+			dxhat[j] = d * ln.gamma.W.At(j)
+			sum1 += dxhat[j]
+			sum2 += dxhat[j] * xh[j]
+		}
+		dst := dx.Row(i)
+		for j := range dst {
+			dst[j] = iv / mf * (mf*dxhat[j] - sum1 - xh[j]*sum2)
+		}
+	}
+	return dx.Reshape(shape...), nil
+}

@@ -1,0 +1,278 @@
+package attention
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+func lossOf(y, r *tensor.Tensor) float64 { return tensor.Sum(tensor.Mul(y, r)) }
+
+func TestMultiHeadShapes(t *testing.T) {
+	rng := xrand.New(1)
+	a, err := NewMultiHead(8, 2, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandN(rng, 1, 3, 5, 8)
+	y, _, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != 3 || y.Dim(1) != 5 || y.Dim(2) != 8 {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+}
+
+func TestMultiHeadValidation(t *testing.T) {
+	rng := xrand.New(2)
+	if _, err := NewMultiHead(7, 2, false, rng); err == nil {
+		t.Fatal("M not divisible by heads accepted")
+	}
+	a, _ := NewMultiHead(8, 2, false, rng)
+	if _, _, err := a.Forward(tensor.New(3, 8)); err == nil {
+		t.Fatal("rank-2 input accepted")
+	}
+	if _, _, err := a.Forward(tensor.New(2, 3, 6)); err == nil {
+		t.Fatal("wrong feature size accepted")
+	}
+}
+
+func TestAttentionRowsAreConvex(t *testing.T) {
+	rng := xrand.New(3)
+	a, _ := NewMultiHead(8, 2, false, rng)
+	x := tensor.RandN(rng, 1, 2, 4, 8)
+	_, cache, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, att := range cache.att {
+		for i := 0; i < att.Dim(0); i++ {
+			sum := 0.0
+			for _, v := range att.Row(i) {
+				if v < 0 {
+					t.Fatal("negative attention weight")
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("attention row sums to %v", sum)
+			}
+		}
+	}
+}
+
+func TestCausalMasking(t *testing.T) {
+	rng := xrand.New(4)
+	a, _ := NewMultiHead(8, 2, true, rng)
+	x := tensor.RandN(rng, 1, 1, 5, 8)
+	_, cache, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, att := range cache.att {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				if att.At(i, j) != 0 {
+					t.Fatalf("future position (%d,%d) attended: %v", i, j, att.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCausalOutputIndependentOfFuture(t *testing.T) {
+	// With causal masking, changing token 4 must not change outputs 0..3.
+	rng := xrand.New(5)
+	a, _ := NewMultiHead(8, 2, true, rng)
+	x := tensor.RandN(rng, 1, 1, 5, 8)
+	y1, _, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := x.Clone()
+	for j := 0; j < 8; j++ {
+		x2.Set(99, 0, 4, j)
+	}
+	y2, _, err := a.Forward(x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(y1.At(0, i, j)-y2.At(0, i, j)) > 1e-12 {
+				t.Fatalf("causal leak at token %d", i)
+			}
+		}
+	}
+}
+
+func TestMultiHeadGradients(t *testing.T) {
+	for _, causal := range []bool{false, true} {
+		rng := xrand.New(6)
+		a, _ := NewMultiHead(6, 2, causal, rng)
+		x := tensor.RandN(rng, 1, 2, 4, 6)
+		r := tensor.RandN(rng, 1, 2, 4, 6)
+		loss := func(xx *tensor.Tensor) float64 {
+			y, _, err := a.Forward(xx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lossOf(y, r)
+		}
+		a.ZeroGrad()
+		_, cache, err := a.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx, err := a.Backward(cache, r.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1e-6
+		for i := 0; i < x.Size(); i += 7 {
+			orig := x.Data()[i]
+			x.Data()[i] = orig + eps
+			up := loss(x)
+			x.Data()[i] = orig - eps
+			down := loss(x)
+			x.Data()[i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-dx.Data()[i]) > 1e-5*(1+math.Abs(num)) {
+				t.Fatalf("causal=%v input grad[%d]: %v vs %v", causal, i, num, dx.Data()[i])
+			}
+		}
+		for _, p := range a.Params() {
+			stride := p.W.Size()/4 + 1
+			for i := 0; i < p.W.Size(); i += stride {
+				orig := p.W.Data()[i]
+				p.W.Data()[i] = orig + eps
+				up := loss(x)
+				p.W.Data()[i] = orig - eps
+				down := loss(x)
+				p.W.Data()[i] = orig
+				num := (up - down) / (2 * eps)
+				if math.Abs(num-p.G.Data()[i]) > 1e-5*(1+math.Abs(num)) {
+					t.Fatalf("causal=%v %s grad[%d]: %v vs %v", causal, p.Name, i, num, p.G.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFwdMACs(t *testing.T) {
+	rng := xrand.New(7)
+	a, _ := NewMultiHead(8, 2, false, rng)
+	want := 4.0*6*8*8 + 2.0*2*3*3*8 // B=2, L=3
+	if got := a.FwdMACs(2, 3); got != want {
+		t.Fatalf("FwdMACs = %v, want %v", got, want)
+	}
+}
+
+func TestLayerNormForward(t *testing.T) {
+	ln := NewLayerNorm(4)
+	x := tensor.FromData([]float64{1, 2, 3, 4, -2, -2, 2, 2}, 2, 4)
+	y, _, err := ln.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each output row must have ~zero mean and ~unit variance (gamma=1,
+	// beta=0 initially).
+	for i := 0; i < 2; i++ {
+		mean, varia := 0.0, 0.0
+		for j := 0; j < 4; j++ {
+			mean += y.At(i, j)
+		}
+		mean /= 4
+		for j := 0; j < 4; j++ {
+			varia += (y.At(i, j) - mean) * (y.At(i, j) - mean)
+		}
+		varia /= 4
+		if math.Abs(mean) > 1e-9 || math.Abs(varia-1) > 1e-3 {
+			t.Fatalf("row %d: mean %v var %v", i, mean, varia)
+		}
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	ln := NewLayerNorm(6)
+	rng := xrand.New(8)
+	// Non-trivial gamma/beta so their gradient paths are exercised.
+	for j := 0; j < 6; j++ {
+		ln.gamma.W.Set(0.5+0.1*float64(j), j)
+		ln.beta.W.Set(-0.2*float64(j), j)
+	}
+	x := tensor.RandN(rng, 1, 5, 6)
+	r := tensor.RandN(rng, 1, 5, 6)
+	loss := func(xx *tensor.Tensor) float64 {
+		y, _, err := ln.Forward(xx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lossOf(y, r)
+	}
+	ln.ZeroGrad()
+	_, cache, err := ln.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, err := ln.Backward(cache, r.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	for i := 0; i < x.Size(); i += 3 {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		up := loss(x)
+		x.Data()[i] = orig - eps
+		down := loss(x)
+		x.Data()[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-dx.Data()[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("input grad[%d]: %v vs %v", i, num, dx.Data()[i])
+		}
+	}
+	for _, p := range ln.Params() {
+		for i := 0; i < p.W.Size(); i += 2 {
+			orig := p.W.Data()[i]
+			p.W.Data()[i] = orig + eps
+			up := loss(x)
+			p.W.Data()[i] = orig - eps
+			down := loss(x)
+			p.W.Data()[i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-p.G.Data()[i]) > 1e-5*(1+math.Abs(num)) {
+				t.Fatalf("%s grad[%d]: %v vs %v", p.Name, i, num, p.G.Data()[i])
+			}
+		}
+	}
+}
+
+func TestLayerNormShapePreserved(t *testing.T) {
+	ln := NewLayerNorm(4)
+	x := tensor.RandN(xrand.New(9), 1, 2, 3, 4)
+	y, cache, err := ln.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rank() != 3 || y.Dim(0) != 2 {
+		t.Fatalf("shape %v", y.Shape())
+	}
+	dx, err := ln.Backward(cache, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dx.Rank() != 3 {
+		t.Fatalf("dx shape %v", dx.Shape())
+	}
+}
+
+func TestLayerNormValidation(t *testing.T) {
+	ln := NewLayerNorm(4)
+	if _, _, err := ln.Forward(tensor.New(2, 5)); err == nil {
+		t.Fatal("wrong feature size accepted")
+	}
+}

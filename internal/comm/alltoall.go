@@ -1,0 +1,223 @@
+package comm
+
+import "fmt"
+
+// blockView validates and returns the per-destination block size of an
+// AlltoAll input: each rank's buffer is p equal blocks, block d destined to
+// rank d.
+func blockView(data [][]float64) (int, error) {
+	n, err := checkUniform(data)
+	if err != nil {
+		return 0, err
+	}
+	p := len(data)
+	if n%p != 0 {
+		return 0, fmt.Errorf("comm: alltoall length %d not divisible by %d ranks", n, p)
+	}
+	return n / p, nil
+}
+
+// DirectAlltoAll is the flat NCCL algorithm: every rank sends block d
+// straight to rank d — p·(p-1) point-to-point messages.
+// out[d] = data[0][d] ‖ data[1][d] ‖ … (blocks ordered by source).
+func DirectAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Stats, error) {
+	var st Stats
+	b, err := blockView(data)
+	if err != nil {
+		return nil, st, err
+	}
+	p := len(data)
+	w := world{g: gpusPerNode}
+	out := make([][]float64, p)
+	for d := 0; d < p; d++ {
+		out[d] = make([]float64, b*p)
+	}
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			copy(out[d][s*b:(s+1)*b], data[s][d*b:(d+1)*b])
+			if s != d {
+				st.add(w.sameNode(s, d), b)
+			}
+		}
+	}
+	return out, st, nil
+}
+
+// Hierarchical1DAlltoAll is Hetu's 1DH algorithm: GPUs in a node first
+// gather their traffic onto the node leader (local index 0), leaders
+// exchange aggregated messages across nodes, and each leader scatters the
+// arrivals within its node. It trades 2 extra intra-node hops for
+// nodes·(nodes-1) instead of p·(p-1) inter-node messages.
+func Hierarchical1DAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Stats, error) {
+	var st Stats
+	b, err := blockView(data)
+	if err != nil {
+		return nil, st, err
+	}
+	p := len(data)
+	g := gpusPerNode
+	if g <= 0 || p%g != 0 {
+		return nil, st, fmt.Errorf("comm: %d ranks not divisible into nodes of %d", p, g)
+	}
+	nodes := p / g
+	// leaderBuf[node][src][dst] = block from src to dst, gathered on the
+	// node leader. src is a global rank in the node; dst any global rank.
+	leader := make([][][]float64, nodes)
+	for nd := 0; nd < nodes; nd++ {
+		leader[nd] = make([][]float64, p*p)
+	}
+	at := func(src, dst int) int { return src*p + dst }
+	// Phase 1: gather to leader.
+	for s := 0; s < p; s++ {
+		nd := s / g
+		lead := nd * g
+		for d := 0; d < p; d++ {
+			blk := make([]float64, b)
+			copy(blk, data[s][d*b:(d+1)*b])
+			leader[nd][at(s, d)] = blk
+			if s != lead {
+				st.add(true, b)
+			}
+		}
+	}
+	// Phase 2: leaders exchange across nodes. Leader nd sends to leader nd'
+	// everything destined to ranks of node nd'.
+	arrived := make([][][]float64, nodes)
+	for nd := 0; nd < nodes; nd++ {
+		arrived[nd] = make([][]float64, p*p)
+	}
+	for nd := 0; nd < nodes; nd++ {
+		for nd2 := 0; nd2 < nodes; nd2++ {
+			moved := 0
+			for s := nd * g; s < (nd+1)*g; s++ {
+				for d := nd2 * g; d < (nd2+1)*g; d++ {
+					arrived[nd2][at(s, d)] = leader[nd][at(s, d)]
+					moved += b
+				}
+			}
+			if nd != nd2 && moved > 0 {
+				st.add(false, moved)
+			}
+		}
+	}
+	// Phase 3: leaders scatter to their node's GPUs.
+	out := make([][]float64, p)
+	for d := 0; d < p; d++ {
+		nd := d / g
+		lead := nd * g
+		out[d] = make([]float64, b*p)
+		for s := 0; s < p; s++ {
+			copy(out[d][s*b:(s+1)*b], arrived[nd][at(s, d)])
+			if d != lead {
+				st.add(true, b)
+			}
+		}
+	}
+	return out, st, nil
+}
+
+// Hierarchical2DAlltoAll is the 2DH algorithm of Tutel/DeepSpeed-MoE:
+//
+//	phase 1 (intra-node): rank (node, l) hands each block destined to a
+//	  rank with local index l' to its node sibling (node, l'); afterwards
+//	  sibling l' holds every block of its node whose destination has local
+//	  index l';
+//	phase 2 (inter-node): same-local-index ranks across nodes exchange the
+//	  aggregated per-node messages — nodes·(nodes-1) large messages per
+//	  local index instead of p·(p-1) small ones.
+func Hierarchical2DAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Stats, error) {
+	var st Stats
+	b, err := blockView(data)
+	if err != nil {
+		return nil, st, err
+	}
+	p := len(data)
+	g := gpusPerNode
+	if g <= 0 || p%g != 0 {
+		return nil, st, fmt.Errorf("comm: %d ranks not divisible into nodes of %d", p, g)
+	}
+	// mid[r][src*p+dst]: after phase 1, rank r=(node,l) holds blocks from
+	// every source in its node destined to any rank with local index l.
+	mid := make([][][]float64, p)
+	for r := 0; r < p; r++ {
+		mid[r] = make([][]float64, p*p)
+	}
+	at := func(src, dst int) int { return src*p + dst }
+	for s := 0; s < p; s++ {
+		nd := s / g
+		for d := 0; d < p; d++ {
+			l := d % g
+			holder := nd*g + l
+			blk := make([]float64, b)
+			copy(blk, data[s][d*b:(d+1)*b])
+			mid[holder][at(s, d)] = blk
+			if holder != s {
+				st.add(true, b)
+			}
+		}
+	}
+	// Phase 2: rank (node, l) sends to (node', l) all held blocks destined
+	// to node'.
+	fin := make([][][]float64, p)
+	for r := 0; r < p; r++ {
+		fin[r] = make([]([]float64), p*p)
+	}
+	for nd := 0; nd < p/g; nd++ {
+		for l := 0; l < g; l++ {
+			r := nd*g + l
+			for nd2 := 0; nd2 < p/g; nd2++ {
+				peer := nd2*g + l
+				moved := 0
+				for s := 0; s < p; s++ {
+					for d := nd2 * g; d < (nd2+1)*g; d++ {
+						if blk := mid[r][at(s, d)]; blk != nil {
+							fin[peer][at(s, d)] = blk
+							moved += b
+						}
+					}
+				}
+				if nd != nd2 && moved > 0 {
+					st.add(false, moved)
+				}
+			}
+		}
+	}
+	// Every block destined to d now sits on d (local index and node both
+	// match); order by source.
+	out := make([][]float64, p)
+	for d := 0; d < p; d++ {
+		out[d] = make([]float64, b*p)
+		for s := 0; s < p; s++ {
+			blk := fin[d][at(s, d)]
+			if blk == nil {
+				return nil, st, fmt.Errorf("comm: 2DH lost block %d→%d", s, d)
+			}
+			copy(out[d][s*b:(s+1)*b], blk)
+		}
+	}
+	return out, st, nil
+}
+
+// A2AAlgo names an AlltoAll implementation, the §3.1 Dispatch sub-module's
+// pluggable algorithm choice.
+type A2AAlgo string
+
+const (
+	A2ADirect A2AAlgo = "nccl-direct"
+	A2A1DH    A2AAlgo = "1dh-hetu"
+	A2A2DH    A2AAlgo = "2dh-tutel"
+)
+
+// AlltoAll dispatches to the named algorithm.
+func AlltoAll(algo A2AAlgo, data [][]float64, gpusPerNode int) ([][]float64, Stats, error) {
+	switch algo {
+	case A2ADirect:
+		return DirectAlltoAll(data, gpusPerNode)
+	case A2A1DH:
+		return Hierarchical1DAlltoAll(data, gpusPerNode)
+	case A2A2DH:
+		return Hierarchical2DAlltoAll(data, gpusPerNode)
+	default:
+		return nil, Stats{}, fmt.Errorf("comm: unknown alltoall algorithm %q", algo)
+	}
+}

@@ -1,0 +1,178 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func worldsEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			return false
+		}
+		for j := range a[r] {
+			if a[r][j] != b[r][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDirectAlltoAllSemantics(t *testing.T) {
+	// 2 ranks, 1 element per block: rank0=[a,b], rank1=[c,d] →
+	// rank0=[a,c], rank1=[b,d].
+	data := [][]float64{{1, 2}, {3, 4}}
+	out, _, err := DirectAlltoAll(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worldsEqual(out, [][]float64{{1, 3}, {2, 4}}) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestHierarchicalAlltoAllsMatchDirect is the core interchangeability
+// property of the Dispatch sub-module: all three algorithms move identical
+// data.
+func TestHierarchicalAlltoAllsMatchDirect(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nodes := 1 + r.Intn(4)
+		g := 1 + r.Intn(4)
+		p := nodes * g
+		b := 1 + r.Intn(5)
+		data := randWorld(r, p, p*b)
+		want, _, err := DirectAlltoAll(data, g)
+		if err != nil {
+			return false
+		}
+		got1, _, err := Hierarchical1DAlltoAll(data, g)
+		if err != nil {
+			return false
+		}
+		got2, _, err := Hierarchical2DAlltoAll(data, g)
+		if err != nil {
+			return false
+		}
+		return worldsEqual(want, got1) && worldsEqual(want, got2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoAllInvolution: applying an AlltoAll twice restores the input —
+// which is exactly why EP Combine is "another AlltoAll" (§2.2).
+func TestAlltoAllInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nodes := 1 + r.Intn(3)
+		g := 1 + r.Intn(4)
+		p := nodes * g
+		b := 1 + r.Intn(4)
+		data := randWorld(r, p, p*b)
+		for _, algo := range []A2AAlgo{A2ADirect, A2A1DH, A2A2DH} {
+			mid, _, err := AlltoAll(algo, data, g)
+			if err != nil {
+				return false
+			}
+			back, _, err := AlltoAll(algo, mid, g)
+			if err != nil {
+				return false
+			}
+			if !worldsEqual(back, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierarchicalReducesInterNodeMessages verifies the motivation for the
+// 1DH/2DH algorithms: far fewer (larger) inter-node messages than the flat
+// algorithm, at the cost of extra intra-node traffic.
+func TestHierarchicalReducesInterNodeMessages(t *testing.T) {
+	r := xrand.New(3)
+	nodes, g, b := 4, 4, 8
+	p := nodes * g
+	data := randWorld(r, p, p*b)
+	_, stDirect, err := DirectAlltoAll(data, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2DH, err := Hierarchical2DAlltoAll(data, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1DH, err := Hierarchical1DAlltoAll(data, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2DH.InterMessages >= stDirect.InterMessages {
+		t.Fatalf("2DH inter messages %d should undercut direct %d", st2DH.InterMessages, stDirect.InterMessages)
+	}
+	if st1DH.InterMessages >= stDirect.InterMessages {
+		t.Fatalf("1DH inter messages %d should undercut direct %d", st1DH.InterMessages, stDirect.InterMessages)
+	}
+	// Same inter-node payload has to cross the network either way.
+	if st2DH.InterVolume != stDirect.InterVolume {
+		t.Fatalf("2DH inter volume %v != direct %v", st2DH.InterVolume, stDirect.InterVolume)
+	}
+	// Hierarchical algorithms pay with intra-node traffic.
+	if st2DH.IntraVolume <= stDirect.IntraVolume {
+		t.Fatalf("2DH should add intra-node traffic (%v vs %v)", st2DH.IntraVolume, stDirect.IntraVolume)
+	}
+}
+
+func TestAlltoAllSingleNodeIsAllIntra(t *testing.T) {
+	r := xrand.New(4)
+	data := randWorld(r, 4, 8)
+	_, st, err := DirectAlltoAll(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InterMessages != 0 || st.InterVolume != 0 {
+		t.Fatalf("single-node A2A crossed nodes: %+v", st)
+	}
+}
+
+func TestAlltoAllErrors(t *testing.T) {
+	if _, _, err := DirectAlltoAll(randWorld(xrand.New(1), 3, 4), 0); err == nil {
+		t.Fatal("expected error: 4 elements not divisible into 3 blocks")
+	}
+	if _, _, err := Hierarchical2DAlltoAll(randWorld(xrand.New(1), 4, 4), 3); err == nil {
+		t.Fatal("expected error: 4 ranks not divisible into nodes of 3")
+	}
+	if _, _, err := AlltoAll("bogus", randWorld(xrand.New(1), 2, 2), 0); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func BenchmarkDirectAlltoAll16(b *testing.B) {
+	data := randWorld(xrand.New(1), 16, 16*64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DirectAlltoAll(data, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark2DHAlltoAll16(b *testing.B) {
+	data := randWorld(xrand.New(1), 16, 16*64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Hierarchical2DAlltoAll(data, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

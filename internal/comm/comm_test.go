@@ -1,0 +1,196 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func randWorld(r *xrand.RNG, p, n int) [][]float64 {
+	data := make([][]float64, p)
+	for i := range data {
+		data[i] = make([]float64, n)
+		for j := range data[i] {
+			data[i][j] = r.NormFloat64()
+		}
+	}
+	return data
+}
+
+func cloneWorld(data [][]float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for i := range data {
+		out[i] = append([]float64(nil), data[i]...)
+	}
+	return out
+}
+
+func TestRingAllReduceEqualsSum(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		p := 2 + r.Intn(7)
+		n := 1 + r.Intn(40)
+		data := randWorld(r, p, n)
+		want := make([]float64, n)
+		for _, d := range data {
+			for j, v := range d {
+				want[j] += v
+			}
+		}
+		if _, err := RingAllReduce(data, 0); err != nil {
+			return false
+		}
+		for _, d := range data {
+			for j := range d {
+				if math.Abs(d[j]-want[j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAllReduceSingleRank(t *testing.T) {
+	data := [][]float64{{1, 2, 3}}
+	st, err := RingAllReduce(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InterMessages+st.IntraMessages != 0 {
+		t.Fatal("single rank should not communicate")
+	}
+}
+
+func TestRingAllReduceVolume(t *testing.T) {
+	// Ring allreduce moves ~2(p-1)/p · n per rank; total ≈ 2(p-1)·n.
+	p, n := 4, 64
+	r := xrand.New(1)
+	data := randWorld(r, p, n)
+	st, err := RingAllReduce(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := st.InterVolume + st.IntraVolume
+	want := float64(2 * (p - 1) * n)
+	if math.Abs(total-want) > float64(2*p*p) { // chunk rounding slack
+		t.Fatalf("total volume %v, want ~%v", total, want)
+	}
+}
+
+func TestRingAllGather(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		p := 2 + r.Intn(7)
+		n := 1 + r.Intn(20)
+		data := randWorld(r, p, n)
+		out, _, err := RingAllGather(data, 0)
+		if err != nil {
+			return false
+		}
+		for rr := 0; rr < p; rr++ {
+			for s := 0; s < p; s++ {
+				for j := 0; j < n; j++ {
+					if out[rr][s*n+j] != data[s][j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingReduceScatter(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		p := 2 + r.Intn(7)
+		seg := 1 + r.Intn(10)
+		n := p * seg
+		data := randWorld(r, p, n)
+		orig := cloneWorld(data)
+		out, _, err := RingReduceScatter(data, 0)
+		if err != nil {
+			return false
+		}
+		for rr := 0; rr < p; rr++ {
+			for j := 0; j < seg; j++ {
+				want := 0.0
+				for s := 0; s < p; s++ {
+					want += orig[s][rr*seg+j]
+				}
+				if math.Abs(out[rr][j]-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		// Inputs must be preserved.
+		for rr := range data {
+			for j := range data[rr] {
+				if data[rr][j] != orig[rr][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterRejectsIndivisible(t *testing.T) {
+	if _, _, err := RingReduceScatter(randWorld(xrand.New(1), 3, 4), 0); err == nil {
+		t.Fatal("expected error for 4 elements over 3 ranks")
+	}
+}
+
+func TestAllGatherReduceScatterDuality(t *testing.T) {
+	// ReduceScatter(AllGather(x)) over identical inputs recovers p·x.
+	r := xrand.New(5)
+	p, n := 4, 8
+	data := randWorld(r, p, n)
+	gathered, _, err := RingAllGather(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := RingReduceScatter(gathered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rr := 0; rr < p; rr++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for s := 0; s < p; s++ {
+				want += gathered[s][rr*n+j]
+			}
+			if math.Abs(out[rr][j]-want) > 1e-9 {
+				t.Fatalf("duality broken at rank %d elem %d", rr, j)
+			}
+		}
+	}
+}
+
+func TestErrorsOnRaggedWorld(t *testing.T) {
+	data := [][]float64{{1, 2}, {1}}
+	if _, err := RingAllReduce(data, 0); err == nil {
+		t.Fatal("expected error for ragged buffers")
+	}
+	if _, _, err := RingAllGather(data, 0); err == nil {
+		t.Fatal("expected error for ragged buffers")
+	}
+}
+
+func TestEmptyWorld(t *testing.T) {
+	if _, err := RingAllReduce(nil, 0); err == nil {
+		t.Fatal("expected error for no ranks")
+	}
+}

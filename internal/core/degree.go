@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/solve"
+)
+
+// ScheduleCase identifies which of the four Fig. 4 regimes a pipeline
+// degree falls into.
+type ScheduleCase int
+
+// Cases of §4.2.
+const (
+	CaseUnknown ScheduleCase = iota
+	Case1                    // inter-node comm (AlltoAll + Gradient-AllReduce) dominates
+	Case2                    // expert computation dominates
+	Case3                    // AlltoAll dominates, Gradient-AllReduce negligible
+	Case4                    // intra-node comm (AllGather/ReduceScatter) dominates
+)
+
+func (c ScheduleCase) String() string {
+	switch c {
+	case Case1:
+		return "case1-internode"
+	case Case2:
+		return "case2-compute"
+	case Case3:
+		return "case3-alltoall"
+	case Case4:
+		return "case4-intranode"
+	default:
+		return "case-unknown"
+	}
+}
+
+// predicates evaluates Q1–Q7 of §4.2 at degree r.
+type predicates struct {
+	q1, q2, q3, q4, q5, q6, q7 bool
+}
+
+func (m Models) preds(v Volumes, tgar float64, phase Phase, r float64) predicates {
+	ta2a := m.TA2A(v, r)
+	tag := m.TAG(v, r)
+	trs := m.TRS(v, r)
+	texp := m.TExp(v, r, phase)
+	var p predicates
+	p.q1 = ta2a > tag
+	p.q2 = r*texp > 2*(r-1)*ta2a
+	p.q3 = r*texp > (r-1)*(tag+trs)
+	p.q4 = tgar > tag+trs
+	p.q5 = tgar > r*texp-2*(r-1)*ta2a+tag+trs
+	p.q6 = tgar > r*tag+r*trs-2*(r-1)*ta2a
+	p.q7 = tgar > tag+trs+r*texp-2*(r-1)*ta2a
+	return p
+}
+
+// Classify maps a degree to its schedule case. The four cases are
+// exhaustive and mutually exclusive (§4.2).
+func (m Models) Classify(v Volumes, tgar float64, phase Phase, r float64) ScheduleCase {
+	p := m.preds(v, tgar, phase, r)
+	switch {
+	case (p.q1 && !p.q2 && p.q4) || (p.q1 && p.q2 && p.q5) ||
+		(!p.q1 && !p.q3 && p.q6) || (!p.q1 && p.q3 && p.q7):
+		return Case1
+	case (p.q1 && p.q2 && !p.q5) || (!p.q1 && p.q3 && !p.q7):
+		return Case2
+	case p.q1 && !p.q2 && !p.q4:
+		return Case3
+	case !p.q1 && !p.q3 && !p.q6:
+		return Case4
+	}
+	return CaseUnknown
+}
+
+// CaseTime evaluates the closed-form t_moe of the given case at degree r
+// (Eq. 2 and the t_moe_2..4 formulas of §4.2).
+func (m Models) CaseTime(c ScheduleCase, v Volumes, tgar float64, phase Phase, r float64) float64 {
+	ta2a := m.TA2A(v, r)
+	tag := m.TAG(v, r)
+	trs := m.TRS(v, r)
+	texp := m.TExp(v, r, phase)
+	switch c {
+	case Case1:
+		return 2*r*ta2a + tgar
+	case Case2:
+		return 2*ta2a + tag + trs + r*texp
+	case Case3:
+		return 2*r*ta2a + tag + trs
+	case Case4:
+		return 2*ta2a + r*tag + r*trs
+	default:
+		return math.Inf(1)
+	}
+}
+
+// PipelineTime evaluates the piecewise closed-form t_moe(r): the case the
+// degree falls into decides the formula.
+func (m Models) PipelineTime(v Volumes, tgar float64, phase Phase, r float64) float64 {
+	return m.CaseTime(m.Classify(v, tgar, phase, r), v, tgar, phase, r)
+}
+
+// DegreeResult is the outcome of the pipeline-degree optimization.
+type DegreeResult struct {
+	R     int          // chosen pipeline degree
+	TMoE  float64      // predicted MoE-block time at R (closed form)
+	Case  ScheduleCase // regime at R
+	TRCon float64      // continuous minimizer before rounding (diagnostics)
+}
+
+// FindOptimalPipelineDegree is Algorithm 1: for each of the four case
+// objectives, find the continuous minimizer of its a·r + b/r + c form over
+// the case's feasible region, then take the best across cases and round to
+// the best feasible integer in [1, rMax]. tgar is 0 in the forward phase
+// and the assigned Gradient-AllReduce budget in the backward phase (§4.4,
+// §5).
+func (m Models) FindOptimalPipelineDegree(v Volumes, tgar float64, phase Phase, rMax int) DegreeResult {
+	if rMax < 1 {
+		rMax = 32
+	}
+	lo, hi := 1.0, float64(rMax)
+
+	type cand struct {
+		r float64
+		t float64
+		c ScheduleCase
+	}
+	var cands []cand
+
+	// Decompose each case objective into a·r + b/r + c using the chunked
+	// models (t_*,r = α + βn/r):
+	//   f1 = 2rα_a2a + 2nβ_a2a + tgar                     → a=2α_a2a, b=0
+	//   f2 = rα_exp + (βn)_exp + 2t_a2a,r + t_ag,r + t_rs,r
+	//        → a=α_exp', b=2nβ_a2a + nβ_ag + nβ_rs
+	//   f3 = 2rα_a2a + 2nβ_a2a + t_ag,r + t_rs,r          → a=2α_a2a, b=nβ_ag+nβ_rs
+	//   f4 = r(α_ag+α_rs) + nβ_ag+nβ_rs + 2t_a2a,r        → a=α_ag+α_rs, b=2nβ_a2a
+	expLin, expN := m.expertModel(v, phase)
+	ab := [5][2]float64{
+		Case1: {2 * m.A2A.Alpha, 0},
+		Case2: {expLin.Alpha, 2*v.NA2A*m.A2A.Beta + v.NAG*m.AG.Beta + v.NRS*m.RS.Beta},
+		Case3: {2 * m.A2A.Alpha, v.NAG*m.AG.Beta + v.NRS*m.RS.Beta},
+		Case4: {m.AG.Alpha + m.RS.Alpha, 2 * v.NA2A * m.A2A.Beta},
+	}
+	_ = expN
+	for _, c := range []ScheduleCase{Case1, Case2, Case3, Case4} {
+		a, b := ab[c][0], ab[c][1]
+		rCont := solve.MinimizeRational(a, b, lo, hi)
+		// The analytic minimizer may be infeasible for this case; project
+		// onto the feasible set by scanning (the SLSQP role). Constraint
+		// sets here are unions of intervals in r, so a grid+refine search
+		// is robust.
+		feasObj := func(r float64) float64 {
+			if m.Classify(v, tgar, phase, r) != c {
+				return math.Inf(1)
+			}
+			return m.CaseTime(c, v, tgar, phase, r)
+		}
+		if m.Classify(v, tgar, phase, rCont) == c {
+			cands = append(cands, cand{rCont, m.CaseTime(c, v, tgar, phase, rCont), c})
+			continue
+		}
+		rFeas, tFeas := solve.Minimize1D(feasObj, lo, hi, 4*rMax)
+		if !math.IsInf(tFeas, 1) {
+			cands = append(cands, cand{rFeas, tFeas, c})
+		}
+	}
+
+	best := cand{r: 1, t: math.Inf(1), c: CaseUnknown}
+	for _, c := range cands {
+		if c.t < best.t {
+			best = c
+		}
+	}
+	if math.IsInf(best.t, 1) {
+		// Pathological volumes (e.g. everything zero): fall back to r=1.
+		return DegreeResult{R: 1, TMoE: m.PipelineTime(v, tgar, phase, 1), Case: m.Classify(v, tgar, phase, 1), TRCon: 1}
+	}
+	// Round to the best integer neighbourhood under the true piecewise
+	// objective.
+	bestR, bestT := 1, math.Inf(1)
+	for _, ri := range []int{int(math.Floor(best.r)), int(math.Ceil(best.r)), int(math.Floor(best.r)) - 1, int(math.Ceil(best.r)) + 1} {
+		if ri < 1 || ri > rMax {
+			continue
+		}
+		if t := m.PipelineTime(v, tgar, phase, float64(ri)); t < bestT {
+			bestR, bestT = ri, t
+		}
+	}
+	return DegreeResult{
+		R:     bestR,
+		TMoE:  bestT,
+		Case:  m.Classify(v, tgar, phase, float64(bestR)),
+		TRCon: best.r,
+	}
+}
+
+// BestDegreeExhaustive scans every integer degree in [1, rMax] under the
+// piecewise closed form — the brute-force reference Algorithm 1 is tested
+// against.
+func (m Models) BestDegreeExhaustive(v Volumes, tgar float64, phase Phase, rMax int) DegreeResult {
+	bestR, bestT := 1, math.Inf(1)
+	for r := 1; r <= rMax; r++ {
+		if t := m.PipelineTime(v, tgar, phase, float64(r)); t < bestT {
+			bestR, bestT = r, t
+		}
+	}
+	return DegreeResult{R: bestR, TMoE: bestT, Case: m.Classify(v, tgar, phase, float64(bestR)), TRCon: float64(bestR)}
+}
+
+// TOlpMoE is the overlappable time inside the MoE pipeline when tgar=0
+// (§5.2): the slack on the inter-node stream that gradient slices can fill
+// without extending the schedule.
+func (m Models) TOlpMoE(v Volumes, phase Phase, r float64) float64 {
+	ta2a := m.TA2A(v, r)
+	tag := m.TAG(v, r)
+	trs := m.TRS(v, r)
+	texp := m.TExp(v, r, phase)
+	switch m.Classify(v, 0, phase, r) {
+	case Case2:
+		return r*texp + tag + trs - 2*(r-1)*ta2a
+	case Case3:
+		return tag + trs
+	case Case4:
+		return r*tag + r*trs - 2*(r-1)*ta2a
+	default:
+		// With tgar=0, Case 1 requires one of Q4..Q7 with tgar > (non-
+		// negative term); only possible when the term is negative, meaning
+		// the stream is saturated: no overlappable slack.
+		return 0
+	}
+}
+
+// TOlpMoENoIIO is the overlappable slack when intra- and inter-node
+// collectives share one communication stream (the FSMoE-No-IIO ablation):
+// the stream's idle time in the compute-bound regime, r·t_exp minus the
+// pipelined communication it must interleave.
+func (m Models) TOlpMoENoIIO(v Volumes, phase Phase, r float64) float64 {
+	ta2a := m.TA2A(v, r)
+	tag := m.TAG(v, r)
+	trs := m.TRS(v, r)
+	texp := m.TExp(v, r, phase)
+	slack := r*texp - 2*(r-1)*ta2a - (r-1)*(tag+trs)
+	if slack < 0 {
+		return 0
+	}
+	return slack
+}

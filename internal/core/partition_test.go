@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func randLayers(r *xrand.RNG, n int) []LayerSpec {
+	layers := make([]LayerSpec, n)
+	for i := range layers {
+		layers[i] = LayerSpec{V: randVols(r)}
+	}
+	return layers
+}
+
+// TestPartitionConservesBytes: Step 1 + Step 2 + tail must account for
+// every gradient byte, with nothing negative.
+func TestPartitionConservesBytes(t *testing.T) {
+	m := testModels()
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		layers := randLayers(r, 1+r.Intn(6))
+		plan := m.PartitionGradients(layers, 8)
+		sum := plan.TailBytes
+		if plan.TailBytes < -1e-6 {
+			return false
+		}
+		for i := range plan.MoEBytes {
+			if plan.MoEBytes[i] < -1e-6 || plan.DenseBytes[i] < -1e-6 {
+				return false
+			}
+			sum += plan.MoEBytes[i] + plan.DenseBytes[i]
+		}
+		return abs(sum-plan.TotalBytes) < 1e-3*plan.TotalBytes+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPartitionEmptyGradients(t *testing.T) {
+	m := testModels()
+	layers := randLayers(xrand.New(1), 3)
+	for i := range layers {
+		layers[i].V.GradBytes = 0
+	}
+	plan := m.PartitionGradients(layers, 8)
+	if plan.TotalBytes != 0 || plan.TailBytes != 0 || plan.Overlapped() != 0 {
+		t.Fatalf("empty-gradient plan: %+v", plan)
+	}
+}
+
+// TestPartitionDenseWindowRespected: the dense slice of a layer must fit
+// its backward window.
+func TestPartitionDenseWindowRespected(t *testing.T) {
+	m := testModels()
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		layers := randLayers(r, 1+r.Intn(5))
+		plan := m.PartitionGradients(layers, 8)
+		for i, l := range layers {
+			if plan.DenseBytes[i] > 0 && m.TAR(plan.DenseBytes[i]) > l.V.DenseBwd+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionBeatsNoPartition: overlapping gradients must not make the
+// schedule slower than leaving them all in the tail.
+func TestPartitionBeatsNoPartition(t *testing.T) {
+	m := testModels()
+	r := xrand.New(11)
+	for trial := 0; trial < 10; trial++ {
+		layers := randLayers(r, 2+r.Intn(4))
+		fs, err := m.SimulateIteration(layers, SystemFSMoE, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild with a plan that exposes everything, by zeroing grad
+		// volumes and appending an explicit tail of the same size.
+		total := 0.0
+		stripped := make([]LayerSpec, len(layers))
+		for i, l := range layers {
+			total += l.V.GradBytes
+			stripped[i] = l
+			stripped[i].V.GradBytes = 0
+		}
+		bare, err := m.SimulateIteration(stripped, SystemFSMoE, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		noOverlap := bare.Total + m.TAR(total)
+		if fs.Total > noOverlap*1.02+1e-6 {
+			t.Fatalf("partitioned %v slower than exposed tail %v", fs.Total, noOverlap)
+		}
+	}
+}
+
+// TestStep2ActivatesWhenWindowsAreSmall: when windows cannot absorb the
+// gradient, Step 2 must still assign extra budget into MoE layers whenever
+// that beats the exposed tail.
+func TestStep2ActivatesWhenWindowsAreSmall(t *testing.T) {
+	m := testModels()
+	// Tiny dense windows and a big gradient; the MoE pipeline has slack on
+	// the inter stream in the compute-bound regime.
+	v := Volumes{NA2A: 1e6, NAG: 8e5, NRS: 8e5, ExpMACs: 4e11, ExpGEMMs: 2,
+		DenseFwd: 0.1, DenseBwd: 0.2, GradBytes: 2e8}
+	layers := []LayerSpec{{V: v}, {V: v}}
+	plan := m.PartitionGradients(layers, 8)
+	if plan.Overlapped() == 0 {
+		t.Fatal("partitioning hid nothing despite compute-bound slack")
+	}
+	if plan.TailBytes >= plan.TotalBytes {
+		t.Fatal("tail was not reduced")
+	}
+}
+
+func TestFixedChunkPlanSemantics(t *testing.T) {
+	m := testModels()
+	// Lina launches each layer's gradients eagerly from its own backward
+	// position, chunked; the plan itself carries the full volume per layer
+	// and the chunking is realized at schedule-build time.
+	v := Volumes{NA2A: 1e6, NAG: 1e6, NRS: 1e6, ExpMACs: 1e9, ExpGEMMs: 2,
+		DenseFwd: 1, DenseBwd: 3, GradBytes: 100e6}
+	plan := m.FixedChunkGarPlan([]LayerSpec{{V: v}, {V: v}}, 30e6)
+	if plan.DenseBytes[0] != 100e6 || plan.DenseBytes[1] != 100e6 {
+		t.Fatalf("eager plan: %v", plan.DenseBytes)
+	}
+	if plan.TailBytes != 0 || plan.TotalBytes != 200e6 {
+		t.Fatalf("plan accounting: tail=%v total=%v", plan.TailBytes, plan.TotalBytes)
+	}
+	// Degenerate chunk size: everything stays in the tail.
+	plan0 := m.FixedChunkGarPlan([]LayerSpec{{V: v}}, 0)
+	if plan0.TailBytes != 100e6 || plan0.DenseBytes[0] != 0 {
+		t.Fatalf("zero chunk size should expose all: %+v", plan0)
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// System identifies one of the scheduling systems the paper evaluates.
+type System string
+
+// Systems of §6.
+const (
+	SystemDSMoE         System = "dsmoe"          // DeepSpeed-MoE: sequential, flat AlltoAll (Fig. 3a)
+	SystemTutel         System = "tutel"          // Tutel + PipeMoE adaptive overlap
+	SystemTutelImproved System = "tutel-improved" // + Gradient-AllReduce over dense parts (Fig. 3b)
+	SystemLina          System = "pipemoe-lina"   // + Lina's fixed 30 MB gradient chunks
+	SystemFSMoENoIIO    System = "fsmoe-no-iio"   // FSMoE without inter/intra-node overlap
+	SystemFSMoE         System = "fsmoe"          // full FSMoE (Fig. 3d)
+)
+
+// AllSystems lists every scheduler in evaluation order.
+func AllSystems() []System {
+	return []System{SystemDSMoE, SystemTutel, SystemTutelImproved, SystemLina, SystemFSMoENoIIO, SystemFSMoE}
+}
+
+// DSMoEKernelOverhead is the compute-side slowdown applied to the
+// DeepSpeed-MoE baseline relative to the shared kernel implementations,
+// calibrated to the Table 6 gap between DS-MoE and FSMoE iterations.
+const DSMoEKernelOverhead = 1.25
+
+// BuildOptions tunes schedule construction.
+type BuildOptions struct {
+	RMax           int     // maximum pipeline degree considered (default 16)
+	LinaChunkBytes float64 // Lina's fixed chunk size (default 30 MB, §6.4)
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.RMax <= 0 {
+		o.RMax = 16
+	}
+	if o.LinaChunkBytes <= 0 {
+		o.LinaChunkBytes = 30e6
+	}
+	return o
+}
+
+// IterationResult is one simulated training iteration.
+type IterationResult struct {
+	System System
+	Total  float64 // makespan, ms
+	Trace  *sim.Trace
+	DegFwd []int // pipeline degree per layer, forward
+	DegBwd []int // pipeline degree per layer, backward
+	Gar    *GarPlan
+}
+
+// streamSet maps logical streams to DES resources for a system.
+type streamSet struct{ inter, intra, compute string }
+
+func streamsFor(sys System) streamSet {
+	switch sys {
+	case SystemDSMoE:
+		return streamSet{inter: "seq", intra: "seq", compute: "seq"}
+	case SystemFSMoE:
+		return streamSet{inter: sim.StreamInter, intra: sim.StreamIntra, compute: sim.StreamCompute}
+	default: // one communication stream, one compute stream
+		return streamSet{inter: "comm", intra: "comm", compute: sim.StreamCompute}
+	}
+}
+
+func (m Models) a2aFor(sys System) perfmodel.Linear {
+	if sys == SystemDSMoE {
+		return m.A2AFlat
+	}
+	return m.A2A
+}
+
+// Task kinds used for breakdown reporting (Table 2 vocabulary).
+const (
+	KindA2A    = "AlltoAll"
+	KindAG     = "AllGather"
+	KindRS     = "ReduceScatter"
+	KindAR     = "AllReduce"
+	KindExpert = "Experts"
+	KindOthers = "Others"
+)
+
+// buildForwardLayer emits one generalized layer's forward tasks and returns
+// the id its successor must depend on. dep < 0 means no dependency.
+func (m Models) buildForwardLayer(g *sim.Graph, v Volumes, r int, ss streamSet, a2a perfmodel.Linear, iio bool, dep int) int {
+	deps := func(ids ...int) []int {
+		var out []int
+		for _, id := range ids {
+			if id >= 0 {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	rf := float64(r)
+	ta2a := a2a.ChunkTime(v.NA2A, rf)
+	tag := m.TAG(v, rf)
+	trs := m.TRS(v, rf)
+	texp := m.TExp(v, rf, Forward)
+
+	others := g.Add("O-fwd", KindOthers, ss.compute, v.DenseFwd, deps(dep)...)
+	disp := make([]int, r)
+	ags := make([]int, r)
+	exps := make([]int, r)
+	rss := make([]int, r)
+	comb := make([]int, r)
+	if iio {
+		// Inter stream: all dispatches, then all combines; intra stream:
+		// all allgathers, then all reduce-scatters (Fig. 3c/d ordering).
+		for i := 0; i < r; i++ {
+			disp[i] = g.Add("D", KindA2A, ss.inter, ta2a, others)
+		}
+		for i := 0; i < r; i++ {
+			ags[i] = g.Add("G", KindAG, ss.intra, tag, disp[i])
+		}
+		for i := 0; i < r; i++ {
+			exps[i] = g.Add("E", KindExpert, ss.compute, texp, ags[i])
+		}
+		for i := 0; i < r; i++ {
+			rss[i] = g.Add("R", KindRS, ss.intra, trs, exps[i])
+		}
+		for i := 0; i < r; i++ {
+			comb[i] = g.Add("C", KindA2A, ss.inter, ta2a, rss[i])
+		}
+		return comb[r-1]
+	}
+	// Single comm stream (Tutel/PipeMoE): interleave so chunk i+1's inputs
+	// are in flight while chunk i computes — the classic double buffer.
+	for i := 0; i < r; i++ {
+		disp[i] = g.Add("D", KindA2A, ss.inter, ta2a, others)
+		ags[i] = g.Add("G", KindAG, ss.intra, tag, disp[i])
+		exps[i] = g.Add("E", KindExpert, ss.compute, texp, ags[i])
+		if i > 0 {
+			rss[i-1] = g.Add("R", KindRS, ss.intra, trs, exps[i-1])
+			comb[i-1] = g.Add("C", KindA2A, ss.inter, ta2a, rss[i-1])
+		}
+	}
+	rss[r-1] = g.Add("R", KindRS, ss.intra, trs, exps[r-1])
+	comb[r-1] = g.Add("C", KindA2A, ss.inter, ta2a, rss[r-1])
+	return comb[r-1]
+}
+
+// buildBackwardLayer emits one generalized layer's backward tasks plus its
+// Gradient-AllReduce slices, returning the id the previous layer's backward
+// must depend on. garMoE/garDense are byte volumes from the GarPlan;
+// linaChunk > 0 realizes the dense slice as fixed-size chunks.
+func (m Models) buildBackwardLayer(g *sim.Graph, v Volumes, r int, ss streamSet, a2a perfmodel.Linear, iio bool, dep int, garMoE, garDense, linaChunk float64) int {
+	deps := func(ids ...int) []int {
+		var out []int
+		for _, id := range ids {
+			if id >= 0 {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	rf := float64(r)
+	ta2a := a2a.ChunkTime(v.NA2A, rf)
+	// Backward adjoints: the first intra collective is the AllGather-shaped
+	// adjoint of the forward ReduceScatter and vice versa; volumes match
+	// their forward counterparts.
+	tag := m.AG.ChunkTime(v.NRS, rf)
+	trs := m.RS.ChunkTime(v.NAG, rf)
+	texp := m.TExp(v, rf, Backward)
+
+	first := make([]int, r) // combine-gradient AlltoAll
+	agb := make([]int, r)
+	exps := make([]int, r)
+	rsb := make([]int, r)
+	second := make([]int, r) // dispatch-gradient AlltoAll
+	if iio {
+		for i := 0; i < r; i++ {
+			first[i] = g.Add("C", KindA2A, ss.inter, ta2a, deps(dep)...)
+		}
+		// The MoE-window gradient slice rides the inter stream between the
+		// two AlltoAll groups (§4, Fig. 3d).
+		if garMoE > 0 {
+			g.Add("A", KindAR, ss.inter, m.TAR(garMoE))
+		}
+		for i := 0; i < r; i++ {
+			agb[i] = g.Add("G", KindAG, ss.intra, tag, first[i])
+		}
+		for i := 0; i < r; i++ {
+			exps[i] = g.Add("E", KindExpert, ss.compute, texp, agb[i])
+		}
+		for i := 0; i < r; i++ {
+			rsb[i] = g.Add("R", KindRS, ss.intra, trs, exps[i])
+		}
+		for i := 0; i < r; i++ {
+			second[i] = g.Add("D", KindA2A, ss.inter, ta2a, rsb[i])
+		}
+	} else {
+		for i := 0; i < r; i++ {
+			first[i] = g.Add("C", KindA2A, ss.inter, ta2a, deps(dep)...)
+			agb[i] = g.Add("G", KindAG, ss.intra, tag, first[i])
+			exps[i] = g.Add("E", KindExpert, ss.compute, texp, agb[i])
+			if i > 0 {
+				rsb[i-1] = g.Add("R", KindRS, ss.intra, trs, exps[i-1])
+				second[i-1] = g.Add("D", KindA2A, ss.inter, ta2a, rsb[i-1])
+			}
+		}
+		if garMoE > 0 {
+			g.Add("A", KindAR, ss.inter, m.TAR(garMoE))
+		}
+		rsb[r-1] = g.Add("R", KindRS, ss.intra, trs, exps[r-1])
+		second[r-1] = g.Add("D", KindA2A, ss.inter, ta2a, rsb[r-1])
+	}
+
+	// Dense backward ("Others") runs after the MoE block; its gradient
+	// slice rides the communication stream in parallel.
+	others := g.Add("O-bwd", KindOthers, ss.compute, v.DenseBwd, second[r-1])
+	if garDense > 0 {
+		if linaChunk > 0 {
+			for rem := garDense; rem > 1e-9; rem -= linaChunk {
+				n := math.Min(linaChunk, rem)
+				g.Add("A", KindAR, ss.inter, m.TAR(n))
+			}
+		} else {
+			g.Add("A", KindAR, ss.inter, m.TAR(garDense))
+		}
+	}
+	return others
+}
+
+// SimulateIteration builds and executes one training iteration (forward +
+// backward + gradient synchronization) of the given layers under a system.
+//
+// For SystemFSMoE the scheduler is contention-aware: overlapping intra-
+// with inter-node collectives costs IIOContention (kernel/fabric
+// interference), so on intra-dominated layouts the overlap can lose more
+// than it hides. FSMoE therefore evaluates both its IIO schedule and the
+// no-IIO fallback against the performance models and keeps the faster —
+// the same adaptive, model-driven spirit as Algorithm 1.
+func (m Models) SimulateIteration(layers []LayerSpec, sys System, opt BuildOptions) (*IterationResult, error) {
+	if sys == SystemFSMoE {
+		iio, err := m.simulateOnce(layers, SystemFSMoE, opt)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := m.simulateOnce(layers, SystemFSMoENoIIO, opt)
+		if err != nil {
+			return nil, err
+		}
+		if flat.Total < iio.Total {
+			flat.System = SystemFSMoE
+			return flat, nil
+		}
+		return iio, nil
+	}
+	return m.simulateOnce(layers, sys, opt)
+}
+
+func (m Models) simulateOnce(layers []LayerSpec, sys System, opt BuildOptions) (*IterationResult, error) {
+	opt = opt.withDefaults()
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("core: no layers to schedule")
+	}
+	for i, l := range layers {
+		if err := l.V.Validate(); err != nil {
+			return nil, fmt.Errorf("core: layer %d: %w", i, err)
+		}
+	}
+	ss := streamsFor(sys)
+	a2a := m.a2aFor(sys)
+	iio := sys == SystemFSMoE
+	if iio {
+		// FSMoE pays the contention cost of co-executing intra- and
+		// inter-node collectives, in both its plans and its execution.
+		m = m.InflateIntra()
+	}
+	if sys == SystemDSMoE {
+		// DeepSpeed-MoE's own gating/ordering/expert kernels are slower
+		// than the reimplementations every other system here shares
+		// (Table 6 measures its full iterations 1.33–1.42× behind FSMoE's
+		// on identical schedules-free configs); model that as a uniform
+		// compute-side overhead.
+		m.GEMM = m.GEMM.Scale(DSMoEKernelOverhead)
+		adj := make([]LayerSpec, len(layers))
+		for i, l := range layers {
+			adj[i] = l
+			adj[i].V.DenseFwd *= DSMoEKernelOverhead
+			adj[i].V.DenseBwd *= DSMoEKernelOverhead
+		}
+		layers = adj
+	}
+
+	// Gradient plan per system (§5 / §6.4 baselines).
+	var gar *GarPlan
+	switch sys {
+	case SystemFSMoE:
+		gar = m.PartitionGradients(layers, opt.RMax)
+	case SystemFSMoENoIIO:
+		gar = m.PartitionGradientsNoIIO(layers, opt.RMax)
+	case SystemLina:
+		gar = m.FixedChunkGarPlan(layers, opt.LinaChunkBytes)
+	case SystemTutelImproved:
+		gar = &GarPlan{MoEBytes: make([]float64, len(layers)), DenseBytes: make([]float64, len(layers))}
+		for i, l := range layers {
+			gar.DenseBytes[i] = l.V.GradBytes
+			gar.TotalBytes += l.V.GradBytes
+		}
+	default: // DSMoE, Tutel: fully exposed at the end
+		gar = &GarPlan{MoEBytes: make([]float64, len(layers)), DenseBytes: make([]float64, len(layers))}
+		for _, l := range layers {
+			gar.TotalBytes += l.V.GradBytes
+		}
+		gar.TailBytes = gar.TotalBytes
+	}
+
+	// Pipeline degrees.
+	degF := make([]int, len(layers))
+	degB := make([]int, len(layers))
+	for i, l := range layers {
+		switch sys {
+		case SystemDSMoE:
+			degF[i], degB[i] = 1, 1
+		case SystemFSMoE:
+			degF[i] = m.FindOptimalPipelineDegree(l.V, 0, Forward, opt.RMax).R
+			degB[i] = m.FindOptimalPipelineDegree(l.V, m.TAR(gar.MoEBytes[i]), Backward, opt.RMax).R
+		case SystemFSMoENoIIO:
+			// Same scheduler discipline as FSMoE (per-phase adaptive
+			// degrees) but tuned on the single-comm-stream pipeline it
+			// actually runs.
+			degF[i] = m.searchDegreeDES(l.V, ss, a2a, false, Forward, opt.RMax)
+			degB[i] = m.searchDegreeDES(l.V, ss, a2a, false, Backward, opt.RMax)
+		default: // Tutel family: one degree, tuned on the forward pipeline
+			r := m.searchDegreeDES(l.V, ss, a2a, false, Forward, opt.RMax)
+			degF[i], degB[i] = r, r
+		}
+	}
+
+	g := sim.NewGraph()
+	dep := -1
+	for i, l := range layers {
+		dep = m.buildForwardLayer(g, l.V, degF[i], ss, a2a, iio, dep)
+	}
+	for i := len(layers) - 1; i >= 0; i-- {
+		lina := 0.0
+		if sys == SystemLina {
+			lina = opt.LinaChunkBytes
+		}
+		dep = m.buildBackwardLayer(g, layers[i].V, degB[i], ss, a2a, iio, dep,
+			gar.MoEBytes[i], gar.DenseBytes[i], lina)
+	}
+	if gar.TailBytes > 0 {
+		g.Add("A-tail", KindAR, ss.inter, m.TAR(gar.TailBytes), dep)
+	}
+	tr := g.Run()
+	return &IterationResult{
+		System: sys,
+		Total:  tr.Makespan,
+		Trace:  tr,
+		DegFwd: degF,
+		DegBwd: degB,
+		Gar:    gar,
+	}, nil
+}
+
+// searchDegreeDES picks the pipeline degree minimizing the DES makespan of
+// a single layer in the given phase — the adaptive search PipeMoE
+// performs, used for the Tutel-family baselines and the No-IIO ablation.
+func (m Models) searchDegreeDES(v Volumes, ss streamSet, a2a perfmodel.Linear, iio bool, phase Phase, rMax int) int {
+	bestR, bestT := 1, math.Inf(1)
+	for r := 1; r <= rMax; r++ {
+		g := sim.NewGraph()
+		if phase == Forward {
+			m.buildForwardLayer(g, v, r, ss, a2a, iio, -1)
+		} else {
+			m.buildBackwardLayer(g, v, r, ss, a2a, iio, -1, 0, 0, 0)
+		}
+		if t := g.Run().Makespan; t < bestT {
+			bestR, bestT = r, t
+		}
+	}
+	return bestR
+}
+
+// SimulateSingleLayer is a convenience wrapper for the Table 5 experiments
+// (one configured generalized layer with its gradient aggregation).
+func (m Models) SimulateSingleLayer(v Volumes, sys System, opt BuildOptions) (*IterationResult, error) {
+	return m.SimulateIteration([]LayerSpec{{V: v}}, sys, opt)
+}

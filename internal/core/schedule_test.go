@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func newGraphForward(m Models, v Volumes, r int, ss streamSet) *sim.Graph {
+	g := sim.NewGraph()
+	m.buildForwardLayer(g, v, r, ss, m.A2A, ss.inter != ss.intra, -1)
+	return g
+}
+
+func TestSimulateIterationSmoke(t *testing.T) {
+	m := testModels()
+	v := randVols(xrand.New(1))
+	for _, sys := range AllSystems() {
+		res, err := m.SimulateSingleLayer(v, sys, BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.Total <= 0 || math.IsNaN(res.Total) {
+			t.Fatalf("%s: makespan %v", sys, res.Total)
+		}
+		if len(res.DegFwd) != 1 || len(res.DegBwd) != 1 {
+			t.Fatalf("%s: degree vectors %v %v", sys, res.DegFwd, res.DegBwd)
+		}
+	}
+}
+
+func TestSimulateIterationErrors(t *testing.T) {
+	m := testModels()
+	if _, err := m.SimulateIteration(nil, SystemFSMoE, BuildOptions{}); err == nil {
+		t.Fatal("no layers should error")
+	}
+	bad := Volumes{NA2A: -1, ExpGEMMs: 2}
+	if _, err := m.SimulateIteration([]LayerSpec{{V: bad}}, SystemFSMoE, BuildOptions{}); err == nil {
+		t.Fatal("negative volume should error")
+	}
+}
+
+// TestDSMoEIsSequential: with every task on one stream, the makespan must
+// equal the sum of all durations (Fig. 3a).
+func TestDSMoEIsSequential(t *testing.T) {
+	m := testModels()
+	v := randVols(xrand.New(2))
+	res, err := m.SimulateSingleLayer(v, SystemDSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, iv := range res.Trace.Intervals {
+		sum += iv.Finish - iv.Start
+	}
+	if math.Abs(res.Total-sum) > 1e-9 {
+		t.Fatalf("DS-MoE makespan %v != serial sum %v", res.Total, sum)
+	}
+	if res.DegFwd[0] != 1 || res.DegBwd[0] != 1 {
+		t.Fatal("DS-MoE must not pipeline")
+	}
+}
+
+// TestSystemOrdering is the Table 5 ordering: on the canonical volume
+// distribution each refinement must not lose to its predecessor (small
+// solver tolerance allowed).
+func TestSystemOrdering(t *testing.T) {
+	m := testModels()
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		v := randVols(r)
+		get := func(sys System) float64 {
+			res, err := m.SimulateSingleLayer(v, sys, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Total
+		}
+		dsmoe := get(SystemDSMoE)
+		tutel := get(SystemTutel)
+		improved := get(SystemTutelImproved)
+		noiio := get(SystemFSMoENoIIO)
+		fsmoe := get(SystemFSMoE)
+		const tol = 1.03
+		if tutel > dsmoe*tol {
+			return false
+		}
+		if improved > tutel*tol {
+			return false
+		}
+		if noiio > improved*tol {
+			return false
+		}
+		return fsmoe <= noiio*tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSMoEUsesThreeStreams(t *testing.T) {
+	m := testModels()
+	v := randVols(xrand.New(3))
+	res, err := m.SimulateSingleLayer(v, SystemFSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := res.Trace.StreamBusy()
+	for _, s := range []string{sim.StreamInter, sim.StreamIntra, sim.StreamCompute} {
+		if busy[s] <= 0 {
+			t.Fatalf("stream %s unused: %v", s, busy)
+		}
+	}
+}
+
+func TestTutelFamilyUsesTwoStreams(t *testing.T) {
+	m := testModels()
+	v := randVols(xrand.New(4))
+	res, err := m.SimulateSingleLayer(v, SystemTutel, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := res.Trace.StreamBusy()
+	if len(busy) != 2 {
+		t.Fatalf("tutel streams: %v", busy)
+	}
+}
+
+// TestInterNodeNeverOverlapsItself: on FSMoE's inter stream, AlltoAll and
+// Gradient-AllReduce intervals must not overlap — the §2.3 constraint that
+// motivates the whole co-design.
+func TestInterNodeNeverOverlapsItself(t *testing.T) {
+	m := testModels()
+	v := randVols(xrand.New(5))
+	v.GradBytes = 1e8
+	res, err := m.SimulateSingleLayer(v, SystemFSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inter []sim.Interval
+	for _, iv := range res.Trace.Intervals {
+		if iv.Task.Stream == sim.StreamInter {
+			inter = append(inter, iv)
+		}
+	}
+	for i := 0; i < len(inter); i++ {
+		for j := i + 1; j < len(inter); j++ {
+			a, b := inter[i], inter[j]
+			if a.Start < b.Finish-1e-9 && b.Start < a.Finish-1e-9 {
+				t.Fatalf("inter-node tasks overlap: %q and %q", a.Task.Label, b.Task.Label)
+			}
+		}
+	}
+}
+
+// TestFSMoEOverlapsInterWithIntra reproduces the Fig. 3c/d effect: some
+// AlltoAll interval must overlap some AllGather/ReduceScatter interval.
+func TestFSMoEOverlapsInterWithIntra(t *testing.T) {
+	m := testModels()
+	v := Volumes{NA2A: 3e7, NAG: 2.5e7, NRS: 2.5e7, ExpMACs: 5e10, ExpGEMMs: 2,
+		DenseFwd: 2, DenseBwd: 4, GradBytes: 1e7}
+	res, err := m.SimulateSingleLayer(v, SystemFSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := false
+	for _, a := range res.Trace.Intervals {
+		if a.Task.Stream != sim.StreamInter || a.Task.Kind != KindA2A {
+			continue
+		}
+		for _, b := range res.Trace.Intervals {
+			if b.Task.Stream != sim.StreamIntra {
+				continue
+			}
+			if a.Start < b.Finish-1e-9 && b.Start < a.Finish-1e-9 {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		t.Fatal("FSMoE produced no inter/intra overlap on an overlap-friendly config")
+	}
+	// And the no-IIO ablation must indeed serialize them.
+	res2, err := m.SimulateSingleLayer(v, SystemFSMoENoIIO, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Total < res.Total-1e-9 {
+		t.Fatalf("no-IIO (%v) beat FSMoE (%v)", res2.Total, res.Total)
+	}
+}
+
+// TestFigure3ScheduleShapes renders the four Fig. 3 schedules and checks
+// their qualitative structure via the Gantt text.
+func TestFigure3ScheduleShapes(t *testing.T) {
+	m := testModels()
+	v := Volumes{NA2A: 3e7, NAG: 2e7, NRS: 2e7, ExpMACs: 1e11, ExpGEMMs: 2,
+		DenseFwd: 2, DenseBwd: 4, GradBytes: 5e7}
+	for _, sys := range []System{SystemDSMoE, SystemTutelImproved, SystemFSMoENoIIO, SystemFSMoE} {
+		res, err := m.SimulateSingleLayer(v, sys, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gantt := res.Trace.Gantt(100)
+		if !strings.Contains(gantt, "makespan") {
+			t.Fatalf("%s: bad gantt", sys)
+		}
+	}
+}
+
+// TestGradientPartitioningHidesTail: with enough overlappable room, FSMoE
+// must hide gradient synchronization that Tutel leaves exposed.
+func TestGradientPartitioningHidesTail(t *testing.T) {
+	m := testModels()
+	v := Volumes{NA2A: 5e6, NAG: 4e6, NRS: 4e6, ExpMACs: 3e11, ExpGEMMs: 2,
+		DenseFwd: 3, DenseBwd: 6, GradBytes: 3e7}
+	layers := []LayerSpec{{V: v}, {V: v}, {V: v}, {V: v}}
+	fs, err := m.SimulateIteration(layers, SystemFSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := m.SimulateIteration(layers, SystemTutel, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Gar.TailBytes >= fs.Gar.TotalBytes/2 {
+		t.Fatalf("FSMoE left %v of %v bytes exposed", fs.Gar.TailBytes, fs.Gar.TotalBytes)
+	}
+	if fs.Total >= tu.Total {
+		t.Fatalf("FSMoE %v did not beat Tutel %v on overlap-friendly layers", fs.Total, tu.Total)
+	}
+}
+
+// TestLinaChunkingCanLose: Lina's fixed 30 MB chunks are "hit or miss"
+// (§6.4) — chunks larger than the local slack block the shared inter-node
+// stream and each chunk pays a startup α, so Lina must not beat
+// Tutel-Improved and must lose to FSMoE's adaptive slicing on a
+// chunk-hostile configuration.
+func TestLinaChunkingCanLose(t *testing.T) {
+	m := testModels()
+	v := Volumes{NA2A: 2e7, NAG: 1.5e7, NRS: 1.5e7, ExpMACs: 1e11, ExpGEMMs: 2,
+		DenseFwd: 1, DenseBwd: 2, GradBytes: 2.5e8} // many chunks, tiny windows
+	layers := []LayerSpec{{V: v}, {V: v}, {V: v}}
+	lina, err := m.SimulateIteration(layers, SystemLina, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := m.SimulateIteration(layers, SystemTutelImproved, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := m.SimulateIteration(layers, SystemFSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lina.Total < improved.Total-1e-9 {
+		t.Fatalf("Lina %v beat Tutel-Improved %v despite per-chunk startup costs", lina.Total, improved.Total)
+	}
+	if fs.Total >= lina.Total {
+		t.Fatalf("FSMoE %v should beat Lina %v here", fs.Total, lina.Total)
+	}
+}
+
+func TestBreakdownContainsAllKinds(t *testing.T) {
+	m := testModels()
+	v := randVols(xrand.New(6))
+	res, err := m.SimulateSingleLayer(v, SystemDSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.Trace.Breakdown()
+	for _, k := range []string{KindA2A, KindAG, KindRS, KindAR, KindExpert, KindOthers} {
+		if bd[k] <= 0 {
+			t.Fatalf("breakdown missing %s: %v", k, bd)
+		}
+	}
+}
+
+func TestMultiLayerDependencies(t *testing.T) {
+	// Two layers: the second layer's forward must start after the first's
+	// combine; total must exceed a single layer's.
+	m := testModels()
+	v := randVols(xrand.New(7))
+	one, err := m.SimulateIteration([]LayerSpec{{V: v}}, SystemFSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := m.SimulateIteration([]LayerSpec{{V: v}, {V: v}}, SystemFSMoE, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Total <= one.Total {
+		t.Fatalf("two layers (%v) not slower than one (%v)", two.Total, one.Total)
+	}
+}

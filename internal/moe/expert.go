@@ -1,0 +1,183 @@
+package moe
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Expert is the compute sub-module of §3.1: a small feed-forward network
+// applied to the (T, M) token block routed to it. Implementations own their
+// parameters and gradient accumulators and provide a manual backward pass.
+type Expert interface {
+	Name() string
+	// Forward evaluates the expert on x (n, M) and returns the output
+	// (n, M) plus an opaque cache for Backward.
+	Forward(x *tensor.Tensor) (*tensor.Tensor, ExpertCache)
+	// Backward consumes dY (n, M), accumulates parameter gradients, and
+	// returns dX (n, M).
+	Backward(cache ExpertCache, dy *tensor.Tensor) *tensor.Tensor
+	// Params exposes the trainable parameters.
+	Params() []*Param
+	// FwdMACs returns the forward multiply-accumulate count for n tokens,
+	// which drives the performance model (backward is modelled as 2×,
+	// §4.4).
+	FwdMACs(n int) float64
+	// ParamBytes returns the parameter footprint in bytes (fp32), the
+	// quantity Gradient-AllReduce must move.
+	ParamBytes() float64
+}
+
+// ExpertCache is the opaque forward cache an expert hands to its backward.
+type ExpertCache interface{}
+
+// GPTFFN is the "simple" expert of Table 4: two dense layers with a GeLU,
+// y = GeLU(x·W1 + b1)·W2 + b2, as in the GPT-2/GPT-3 feed-forward block.
+type GPTFFN struct {
+	m, h           int
+	w1, b1, w2, b2 *Param
+}
+
+type gptCache struct {
+	x *tensor.Tensor // input
+	h *tensor.Tensor // pre-activation x·W1+b1
+	a *tensor.Tensor // GeLU(h)
+}
+
+// NewGPTFFN constructs an expert with embedding m and hidden size h.
+func NewGPTFFN(m, h int, rng *xrand.RNG) (*GPTFFN, error) {
+	if m <= 0 || h <= 0 {
+		return nil, fmt.Errorf("moe: GPTFFN sizes must be positive, got M=%d H=%d", m, h)
+	}
+	return &GPTFFN{
+		m: m, h: h,
+		w1: newParam("ffn.w1", tensor.Xavier(rng, m, h)),
+		b1: newParam("ffn.b1", tensor.New(h)),
+		w2: newParam("ffn.w2", tensor.Xavier(rng, h, m)),
+		b2: newParam("ffn.b2", tensor.New(m)),
+	}, nil
+}
+
+// Name implements Expert.
+func (f *GPTFFN) Name() string { return "gpt-ffn" }
+
+// Params implements Expert.
+func (f *GPTFFN) Params() []*Param { return []*Param{f.w1, f.b1, f.w2, f.b2} }
+
+// FwdMACs implements Expert: two GEMMs of n·M·H MACs each.
+func (f *GPTFFN) FwdMACs(n int) float64 { return 2 * float64(n) * float64(f.m) * float64(f.h) }
+
+// ParamBytes implements Expert (fp32).
+func (f *GPTFFN) ParamBytes() float64 {
+	return 4 * float64(2*f.m*f.h+f.h+f.m)
+}
+
+// Forward implements Expert.
+func (f *GPTFFN) Forward(x *tensor.Tensor) (*tensor.Tensor, ExpertCache) {
+	h := tensor.AddRowVector(tensor.MatMul(x, f.w1.W), f.b1.W)
+	a := tensor.GeLU(h)
+	y := tensor.AddRowVector(tensor.MatMul(a, f.w2.W), f.b2.W)
+	return y, &gptCache{x: x, h: h, a: a}
+}
+
+// Backward implements Expert.
+func (f *GPTFFN) Backward(cache ExpertCache, dy *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*gptCache)
+	// y = a·W2 + b2.
+	tensor.AddInPlace(f.w2.G, tensor.MatMulT1(c.a, dy))
+	addColSum(f.b2.G, dy)
+	da := tensor.MatMulT2(dy, f.w2.W)
+	// a = GeLU(h).
+	dh := da.Clone()
+	hd := c.h.Data()
+	dd := dh.Data()
+	for i := range dd {
+		dd[i] *= tensor.GeLUGrad(hd[i])
+	}
+	// h = x·W1 + b1.
+	tensor.AddInPlace(f.w1.G, tensor.MatMulT1(c.x, dh))
+	addColSum(f.b1.G, dh)
+	return tensor.MatMulT2(dh, f.w1.W)
+}
+
+// MixtralFFN is the SwiGLU expert used by Mixtral (§3.1):
+// y = (SiLU(x·W1) ⊙ (x·W3))·W2, three matrices and no biases.
+type MixtralFFN struct {
+	m, h       int
+	w1, w2, w3 *Param
+}
+
+type mixtralCache struct {
+	x *tensor.Tensor
+	g *tensor.Tensor // x·W1 (pre-activation)
+	u *tensor.Tensor // x·W3
+	a *tensor.Tensor // SiLU(g)
+}
+
+// NewMixtralFFN constructs the expert with embedding m and hidden size h.
+func NewMixtralFFN(m, h int, rng *xrand.RNG) (*MixtralFFN, error) {
+	if m <= 0 || h <= 0 {
+		return nil, fmt.Errorf("moe: MixtralFFN sizes must be positive, got M=%d H=%d", m, h)
+	}
+	return &MixtralFFN{
+		m: m, h: h,
+		w1: newParam("ffn.w1", tensor.Xavier(rng, m, h)),
+		w2: newParam("ffn.w2", tensor.Xavier(rng, h, m)),
+		w3: newParam("ffn.w3", tensor.Xavier(rng, m, h)),
+	}, nil
+}
+
+// Name implements Expert.
+func (f *MixtralFFN) Name() string { return "mixtral-ffn" }
+
+// Params implements Expert.
+func (f *MixtralFFN) Params() []*Param { return []*Param{f.w1, f.w2, f.w3} }
+
+// FwdMACs implements Expert: three GEMMs of n·M·H MACs each.
+func (f *MixtralFFN) FwdMACs(n int) float64 { return 3 * float64(n) * float64(f.m) * float64(f.h) }
+
+// ParamBytes implements Expert (fp32).
+func (f *MixtralFFN) ParamBytes() float64 { return 4 * float64(3*f.m*f.h) }
+
+// Forward implements Expert.
+func (f *MixtralFFN) Forward(x *tensor.Tensor) (*tensor.Tensor, ExpertCache) {
+	g := tensor.MatMul(x, f.w1.W)
+	u := tensor.MatMul(x, f.w3.W)
+	a := tensor.SiLU(g)
+	p := tensor.Mul(a, u)
+	y := tensor.MatMul(p, f.w2.W)
+	return y, &mixtralCache{x: x, g: g, u: u, a: a}
+}
+
+// Backward implements Expert.
+func (f *MixtralFFN) Backward(cache ExpertCache, dy *tensor.Tensor) *tensor.Tensor {
+	c := cache.(*mixtralCache)
+	p := tensor.Mul(c.a, c.u)
+	tensor.AddInPlace(f.w2.G, tensor.MatMulT1(p, dy))
+	dp := tensor.MatMulT2(dy, f.w2.W)
+	da := tensor.Mul(dp, c.u)
+	du := tensor.Mul(dp, c.a)
+	dg := da.Clone()
+	gd := c.g.Data()
+	dd := dg.Data()
+	for i := range dd {
+		dd[i] *= tensor.SiLUGrad(gd[i])
+	}
+	tensor.AddInPlace(f.w1.G, tensor.MatMulT1(c.x, dg))
+	tensor.AddInPlace(f.w3.G, tensor.MatMulT1(c.x, du))
+	dx := tensor.MatMulT2(dg, f.w1.W)
+	tensor.AddInPlace(dx, tensor.MatMulT2(du, f.w3.W))
+	return dx
+}
+
+// addColSum accumulates the column sums of m (n, d) into acc (d).
+func addColSum(acc, m *tensor.Tensor) {
+	d := m.Dim(1)
+	for i := 0; i < m.Dim(0); i++ {
+		row := m.Row(i)
+		for j := 0; j < d; j++ {
+			acc.Set(acc.At(j)+row[j], j)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package moe
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is one trainable weight with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+func newParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape()...)}
+}
+
+// RouteCache carries what a gate needs to run its backward pass.
+type RouteCache struct {
+	X     *tensor.Tensor // (N, M) gate input
+	Plan  *DispatchPlan
+	extra any // gate-specific intermediates
+}
+
+// PlanGrad is the gradient of the loss with respect to a plan's routing
+// weights, produced by the layer's backward pass and consumed by
+// Gate.Backward.
+type PlanGrad struct {
+	// SlotWeight[e][s] gradient for hard plans.
+	SlotWeight [][]float64
+	// Dense gradients for SoftMoE plans.
+	DispatchW *tensor.Tensor // (E*T, N)
+	CombineW  *tensor.Tensor // (N, E*T)
+}
+
+// Gate is the routing sub-module of §3.1. Implementations must be
+// deterministic given their RNG state so experiments reproduce.
+type Gate interface {
+	// Name identifies the gating function ("gshard", "xmoe", ...).
+	Name() string
+	// Route assigns the N tokens of x (N, M) to experts. train enables
+	// training-only behaviour (GShard's noisy gating).
+	Route(x *tensor.Tensor, train bool) (*DispatchPlan, *RouteCache, error)
+	// Backward accumulates parameter gradients from the routing-weight
+	// gradient and returns the gradient contribution to x. It may be
+	// called at most once per RouteCache.
+	Backward(cache *RouteCache, grad *PlanGrad) *tensor.Tensor
+	// Params exposes the gate's trainable parameters.
+	Params() []*Param
+}
+
+// GateConfig carries the routing hyperparameters shared by all gates.
+type GateConfig struct {
+	Experts int     // E
+	TopK    int     // k experts per token (token-choice gates)
+	Factor  float64 // capacity factor f; <= 0 means f=∗ (no dropping)
+}
+
+// Validate reports configuration errors.
+func (c GateConfig) Validate() error {
+	if c.Experts <= 0 {
+		return fmt.Errorf("moe: gate needs at least one expert, got %d", c.Experts)
+	}
+	if c.TopK <= 0 || c.TopK > c.Experts {
+		return fmt.Errorf("moe: top-k %d invalid for %d experts", c.TopK, c.Experts)
+	}
+	return nil
+}
+
+// maskedSoftmaxBackward computes, for one token, the gradient of the
+// masked softmax (softmax restricted to the selected index set) given the
+// gradient of the softmax outputs. sel holds the selected logit indices,
+// w the softmax outputs at those indices, dw their gradients; the result is
+// the gradient at each selected logit.
+func maskedSoftmaxBackward(w, dw []float64) []float64 {
+	// dlogit_i = w_i * (dw_i - sum_j dw_j w_j)
+	dot := 0.0
+	for j := range w {
+		dot += dw[j] * w[j]
+	}
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[i] * (dw[i] - dot)
+	}
+	return out
+}
+
+// zeroGrads clears the gradient accumulators of params.
+func zeroGrads(params []*Param) {
+	for _, p := range params {
+		p.G.Zero()
+	}
+}
+
+// checkGateInput validates the gate input shape.
+func checkGateInput(x *tensor.Tensor, m int) error {
+	if x.Rank() != 2 {
+		return fmt.Errorf("moe: gate input must be (tokens, M), got %v", x.Shape())
+	}
+	if x.Dim(1) != m {
+		return fmt.Errorf("moe: gate input embedding %d, want %d", x.Dim(1), m)
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package moe
+
+import (
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// GShardGate is the noisy top-k gate of GShard (§2.1):
+//
+//	H(x)_i = (x·W_g)_i + N(0,1)·Softplus((x·W_noise)_i)   (training only)
+//	G(x)   = Softmax(KeepTopK(H(x), k))
+//
+// Combine weights are the masked-softmax values over the selected experts.
+// The auxiliary load-balancing loss is the standard GShard/Switch form
+// E·Σ_e f_e·p_e, with f_e the fraction of tokens whose first choice is e
+// and p_e the mean (full) softmax probability of e.
+type GShardGate struct {
+	cfg    GateConfig
+	m      int
+	wg     *Param
+	wnoise *Param
+	rng    *xrand.RNG
+
+	// fixedNoise, when non-nil, replaces sampling; tests use it to make
+	// the noisy path differentiable-checkable.
+	fixedNoise *tensor.Tensor
+}
+
+type gshardCache struct {
+	logits *tensor.Tensor // H(x), (N, E)
+	noise  *tensor.Tensor // sampled N(0,1), nil in eval mode
+	spPre  *tensor.Tensor // x·W_noise, nil in eval mode
+	selIdx [][]int        // selected expert ids per token (descending score)
+	selW   [][]float64    // masked-softmax weights per token
+	probs  *tensor.Tensor // full softmax over logits, for the aux loss
+	firstC []int          // first-choice counts per expert
+}
+
+// NewGShardGate constructs the gate for embedding size m.
+func NewGShardGate(cfg GateConfig, m int, rng *xrand.RNG) (*GShardGate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &GShardGate{
+		cfg:    cfg,
+		m:      m,
+		wg:     newParam("gshard.wg", tensor.Xavier(rng, m, cfg.Experts)),
+		wnoise: newParam("gshard.wnoise", tensor.Xavier(rng, m, cfg.Experts)),
+		rng:    rng.Split(),
+	}, nil
+}
+
+// Name implements Gate.
+func (g *GShardGate) Name() string { return "gshard" }
+
+// Params implements Gate.
+func (g *GShardGate) Params() []*Param { return []*Param{g.wg, g.wnoise} }
+
+// SetFixedNoise pins the noise matrix for the next Route calls; tests use
+// this to verify the noisy-path gradients numerically.
+func (g *GShardGate) SetFixedNoise(n *tensor.Tensor) { g.fixedNoise = n }
+
+// Route implements Gate.
+func (g *GShardGate) Route(x *tensor.Tensor, train bool) (*DispatchPlan, *RouteCache, error) {
+	if err := checkGateInput(x, g.m); err != nil {
+		return nil, nil, err
+	}
+	n := x.Dim(0)
+	e := g.cfg.Experts
+	logits := tensor.MatMul(x, g.wg.W)
+	cache := &gshardCache{}
+	if train {
+		spPre := tensor.MatMul(x, g.wnoise.W)
+		sp := tensor.Softplus(spPre)
+		var noise *tensor.Tensor
+		if g.fixedNoise != nil {
+			noise = g.fixedNoise
+		} else {
+			noise = tensor.RandN(g.rng, 1, n, e)
+		}
+		logits = tensor.Add(logits, tensor.Mul(noise, sp))
+		cache.noise = noise
+		cache.spPre = spPre
+	}
+	cache.logits = logits
+
+	probs := tensor.SoftmaxRows(logits) // full softmax for the aux loss
+	cache.probs = probs
+	var asg []assignment
+	cache.selIdx = make([][]int, n)
+	cache.selW = make([][]float64, n)
+	firstChoice := make([]int, e)
+	for t := 0; t < n; t++ {
+		row := logits.Row(t)
+		sel := tensor.TopK(row, g.cfg.TopK)
+		// Masked softmax over the selected logits.
+		w := make([]float64, len(sel))
+		kept := make([]float64, len(sel))
+		for j, idx := range sel {
+			kept[j] = row[idx]
+		}
+		copy(w, softmaxVec(kept))
+		cache.selIdx[t] = sel
+		cache.selW[t] = w
+		firstChoice[sel[0]]++
+		for j, idx := range sel {
+			asg = append(asg, assignment{token: t, expert: idx, weight: w[j], choice: j})
+		}
+	}
+	capacity := CapacityFor(n, e, g.cfg.TopK, g.cfg.Factor)
+	plan := buildHardPlan(n, e, capacity, asg)
+	// Load balancing loss: E * sum_e f_e * p_e.
+	aux := 0.0
+	for ei := 0; ei < e; ei++ {
+		f := float64(firstChoice[ei]) / float64(n)
+		p := 0.0
+		for t := 0; t < n; t++ {
+			p += probs.At(t, ei)
+		}
+		p /= float64(n)
+		aux += f * p
+	}
+	plan.AuxLoss = aux * float64(e)
+	cache.firstC = firstChoice
+	return plan, &RouteCache{X: x, Plan: plan, extra: cache}, nil
+}
+
+// AuxBackward accumulates scale · ∂AuxLoss/∂θ into the gate parameters and
+// returns the corresponding input gradient. The loss is E·Σ_e f_e·p̄_e
+// (§2.1's load-balancing term): f_e, the first-choice fraction, is
+// piecewise constant, so the gradient flows through the mean softmax
+// probabilities p̄_e exactly as in GShard/Switch training. Call it after
+// Route (typically alongside the layer's Backward) with the coefficient
+// the training loss puts on the auxiliary term.
+func (g *GShardGate) AuxBackward(rc *RouteCache, scale float64) *tensor.Tensor {
+	cache := rc.extra.(*gshardCache)
+	x := rc.X
+	n, e := x.Dim(0), g.cfg.Experts
+	if scale == 0 || n == 0 {
+		return tensor.New(n, g.m)
+	}
+	// AuxLoss = (E/n²)·Σ_e c_e·Σ_t p_te with c_e the first-choice count.
+	// dL/dp_te = scale·E·c_e/n²; back through each row's softmax.
+	dLogits := tensor.New(n, e)
+	coeff := scale * float64(e) / (float64(n) * float64(n))
+	dp := make([]float64, e)
+	for ei := 0; ei < e; ei++ {
+		dp[ei] = coeff * float64(cache.firstC[ei])
+	}
+	for t := 0; t < n; t++ {
+		p := cache.probs.Row(t)
+		dl := maskedSoftmaxBackward(p, dp)
+		copy(dLogits.Row(t), dl)
+	}
+	tensor.AddInPlace(g.wg.G, tensor.MatMulT1(x, dLogits))
+	dx := tensor.MatMulT2(dLogits, g.wg.W)
+	if cache.noise != nil {
+		dsp := tensor.Mul(dLogits, cache.noise)
+		dpre := tensor.Mul(dsp, tensor.Sigmoid(cache.spPre))
+		tensor.AddInPlace(g.wnoise.G, tensor.MatMulT1(x, dpre))
+		tensor.AddInPlace(dx, tensor.MatMulT2(dpre, g.wnoise.W))
+	}
+	return dx
+}
+
+// Backward implements Gate. Dropped assignments contribute no gradient
+// (their combine weight never reached the output).
+func (g *GShardGate) Backward(rc *RouteCache, grad *PlanGrad) *tensor.Tensor {
+	cache := rc.extra.(*gshardCache)
+	x := rc.X
+	n, e := x.Dim(0), g.cfg.Experts
+	// Collect dWeight per (token, selected expert) from the slot grads.
+	dW := slotGradToTokenGrad(rc.Plan, cache.selIdx, grad.SlotWeight, n)
+	dLogits := tensor.New(n, e)
+	for t := 0; t < n; t++ {
+		dl := maskedSoftmaxBackward(cache.selW[t], dW[t])
+		for j, idx := range cache.selIdx[t] {
+			dLogits.Set(dl[j], t, idx)
+		}
+	}
+	// dWg += xᵀ dLogits ; dx = dLogits Wgᵀ.
+	tensor.AddInPlace(g.wg.G, tensor.MatMulT1(x, dLogits))
+	dx := tensor.MatMulT2(dLogits, g.wg.W)
+	if cache.noise != nil {
+		// Noise path: logits += noise * softplus(x·W_noise).
+		dsp := tensor.Mul(dLogits, cache.noise)
+		dpre := tensor.Mul(dsp, tensor.Sigmoid(cache.spPre)) // softplus' = sigmoid
+		tensor.AddInPlace(g.wnoise.G, tensor.MatMulT1(x, dpre))
+		tensor.AddInPlace(dx, tensor.MatMulT2(dpre, g.wnoise.W))
+	}
+	return dx
+}
+
+// softmaxVec is a stable softmax over a small dense vector.
+func softmaxVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	row := tensor.FromData(out, 1, len(out))
+	return tensor.SoftmaxRows(row).Row(0)
+}
+
+// slotGradToTokenGrad reorganizes per-slot weight gradients into the
+// per-token, per-selected-choice layout gates compute jacobians in.
+// Assignments that were dropped (never given a slot) get zero gradient.
+func slotGradToTokenGrad(plan *DispatchPlan, selIdx [][]int, slotGrad [][]float64, tokens int) [][]float64 {
+	out := make([][]float64, tokens)
+	for t := range out {
+		out[t] = make([]float64, len(selIdx[t]))
+	}
+	if slotGrad == nil {
+		return out
+	}
+	// Walk slots; for each occupied slot find which choice of the token it
+	// satisfies (the first selected expert matching the slot's expert that
+	// has not been consumed). Token-order packing guarantees one slot per
+	// (token, expert) pair.
+	for e := range plan.SlotToken {
+		for s, tok := range plan.SlotToken[e] {
+			if tok < 0 {
+				continue
+			}
+			for j, idx := range selIdx[tok] {
+				if idx == e {
+					out[tok][j] = slotGrad[e][s]
+					break
+				}
+			}
+		}
+	}
+	return out
+}

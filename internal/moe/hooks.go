@@ -1,0 +1,109 @@
+package moe
+
+import "repro/internal/tensor"
+
+// Hooks are the six non-invasive extension points of §3.1. Each hook, when
+// non-nil, receives the activation tensor at its stage and returns the
+// (possibly replaced) tensor that flows onward. Multiple Hooks structs
+// compose in registration order.
+//
+// The paper's examples map directly: multimodal reshaping lives in
+// BeforeMoeStart/BeforeMoeEnd; communication compression pairs
+// BeforeDispatch (compress) with AfterDispatch (decompress).
+type Hooks struct {
+	BeforeMoeStart func(x *tensor.Tensor) *tensor.Tensor
+	BeforeDispatch func(x *tensor.Tensor) *tensor.Tensor
+	AfterDispatch  func(x *tensor.Tensor) *tensor.Tensor
+	BeforeCombine  func(x *tensor.Tensor) *tensor.Tensor
+	AfterCombine   func(x *tensor.Tensor) *tensor.Tensor
+	BeforeMoeEnd   func(x *tensor.Tensor) *tensor.Tensor
+}
+
+// hookChain applies one named stage of every registered Hooks in order.
+type hookChain []Hooks
+
+func (h hookChain) beforeMoeStart(x *tensor.Tensor) *tensor.Tensor {
+	for _, hk := range h {
+		if hk.BeforeMoeStart != nil {
+			x = hk.BeforeMoeStart(x)
+		}
+	}
+	return x
+}
+
+func (h hookChain) beforeDispatch(x *tensor.Tensor) *tensor.Tensor {
+	for _, hk := range h {
+		if hk.BeforeDispatch != nil {
+			x = hk.BeforeDispatch(x)
+		}
+	}
+	return x
+}
+
+func (h hookChain) afterDispatch(x *tensor.Tensor) *tensor.Tensor {
+	for _, hk := range h {
+		if hk.AfterDispatch != nil {
+			x = hk.AfterDispatch(x)
+		}
+	}
+	return x
+}
+
+func (h hookChain) beforeCombine(x *tensor.Tensor) *tensor.Tensor {
+	for _, hk := range h {
+		if hk.BeforeCombine != nil {
+			x = hk.BeforeCombine(x)
+		}
+	}
+	return x
+}
+
+func (h hookChain) afterCombine(x *tensor.Tensor) *tensor.Tensor {
+	for _, hk := range h {
+		if hk.AfterCombine != nil {
+			x = hk.AfterCombine(x)
+		}
+	}
+	return x
+}
+
+func (h hookChain) beforeMoeEnd(x *tensor.Tensor) *tensor.Tensor {
+	for _, hk := range h {
+		if hk.BeforeMoeEnd != nil {
+			x = hk.BeforeMoeEnd(x)
+		}
+	}
+	return x
+}
+
+// Dispatcher is the Dispatch/Combine sub-module of §3.1. On a single
+// device it is the identity; internal/comm provides a multi-rank
+// implementation backed by real AlltoAll collectives. Dispatch and Combine
+// act on the (E, T, M) layout; the *Grad variants are their adjoints for
+// the backward pass (an AlltoAll is its own adjoint up to the inverse
+// permutation).
+type Dispatcher interface {
+	Name() string
+	Dispatch(x *tensor.Tensor) *tensor.Tensor
+	Combine(x *tensor.Tensor) *tensor.Tensor
+	DispatchGrad(g *tensor.Tensor) *tensor.Tensor
+	CombineGrad(g *tensor.Tensor) *tensor.Tensor
+}
+
+// LocalDispatcher is the single-device identity dispatcher.
+type LocalDispatcher struct{}
+
+// Name implements Dispatcher.
+func (LocalDispatcher) Name() string { return "local" }
+
+// Dispatch implements Dispatcher.
+func (LocalDispatcher) Dispatch(x *tensor.Tensor) *tensor.Tensor { return x }
+
+// Combine implements Dispatcher.
+func (LocalDispatcher) Combine(x *tensor.Tensor) *tensor.Tensor { return x }
+
+// DispatchGrad implements Dispatcher.
+func (LocalDispatcher) DispatchGrad(g *tensor.Tensor) *tensor.Tensor { return g }
+
+// CombineGrad implements Dispatcher.
+func (LocalDispatcher) CombineGrad(g *tensor.Tensor) *tensor.Tensor { return g }

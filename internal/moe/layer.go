@@ -1,0 +1,209 @@
+package moe
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// LayerConfig assembles an MOELayer from sub-modules (§3.3's front-end).
+type LayerConfig struct {
+	M          int // token embedding size
+	Gate       Gate
+	Order      Order
+	Dispatcher Dispatcher // nil means LocalDispatcher
+	Experts    []Expert
+	Hooks      []Hooks
+}
+
+// MOELayer is the full MoE layer of Fig. 1: gate → order → dispatch →
+// expert → combine → I-order, with the six hook points of §3.1 threaded
+// through. It can be used like any other layer: Forward produces the output
+// and a cache, Backward consumes the cache and the output gradient.
+type MOELayer struct {
+	cfg   LayerConfig
+	hooks hookChain
+	disp  Dispatcher
+}
+
+// LayerCache holds everything Backward needs.
+type LayerCache struct {
+	shape     []int // original input shape
+	x         *tensor.Tensor
+	routeC    *RouteCache
+	plan      *DispatchPlan
+	dispatchd *tensor.Tensor // expert inputs after dispatch, (E, T, M)
+	expertOut *tensor.Tensor // (E, T, M)
+	expCaches []ExpertCache
+	train     bool
+}
+
+// NewMOELayer validates the configuration and assembles the layer.
+func NewMOELayer(cfg LayerConfig) (*MOELayer, error) {
+	if cfg.M <= 0 {
+		return nil, fmt.Errorf("moe: M must be positive, got %d", cfg.M)
+	}
+	if cfg.Gate == nil {
+		return nil, fmt.Errorf("moe: layer needs a gate")
+	}
+	if cfg.Order == nil {
+		return nil, fmt.Errorf("moe: layer needs an order function")
+	}
+	if len(cfg.Experts) == 0 {
+		return nil, fmt.Errorf("moe: layer needs at least one expert")
+	}
+	d := cfg.Dispatcher
+	if d == nil {
+		d = LocalDispatcher{}
+	}
+	return &MOELayer{cfg: cfg, hooks: hookChain(cfg.Hooks), disp: d}, nil
+}
+
+// Experts returns the layer's expert list.
+func (l *MOELayer) Experts() []Expert { return l.cfg.Experts }
+
+// Gate returns the layer's gate.
+func (l *MOELayer) Gate() Gate { return l.cfg.Gate }
+
+// Params returns all trainable parameters (gate + experts).
+func (l *MOELayer) Params() []*Param {
+	out := append([]*Param(nil), l.cfg.Gate.Params()...)
+	for _, e := range l.cfg.Experts {
+		out = append(out, e.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears every parameter gradient.
+func (l *MOELayer) ZeroGrad() { zeroGrads(l.Params()) }
+
+// Forward runs the layer on x, shaped (B, L, M) or (N, M). train enables
+// training-only gate behaviour.
+func (l *MOELayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *LayerCache, error) {
+	shape := append([]int(nil), x.Shape()...)
+	var flat *tensor.Tensor
+	switch x.Rank() {
+	case 2:
+		flat = x
+	case 3:
+		flat = x.Reshape(x.Dim(0)*x.Dim(1), x.Dim(2))
+	default:
+		return nil, nil, fmt.Errorf("moe: input must be (B,L,M) or (N,M), got %v", x.Shape())
+	}
+	if flat.Dim(1) != l.cfg.M {
+		return nil, nil, fmt.Errorf("moe: input embedding %d, want %d", flat.Dim(1), l.cfg.M)
+	}
+	flat = l.hooks.beforeMoeStart(flat)
+	n := flat.Dim(0)
+
+	plan, rc, err := l.cfg.Gate.Route(flat, train)
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan.Experts != len(l.cfg.Experts) {
+		return nil, nil, fmt.Errorf("moe: gate routed to %d experts but layer has %d", plan.Experts, len(l.cfg.Experts))
+	}
+	if err := plan.Validate(n); err != nil {
+		return nil, nil, err
+	}
+
+	scattered := l.cfg.Order.Scatter(flat, plan) // (E, T, M)
+	scattered = l.hooks.beforeDispatch(scattered)
+	dispatched := l.disp.Dispatch(scattered)
+	dispatched = l.hooks.afterDispatch(dispatched)
+
+	expertOut := tensor.New(plan.Experts, plan.Capacity, l.cfg.M)
+	caches := make([]ExpertCache, plan.Experts)
+	for e := 0; e < plan.Experts; e++ {
+		in := tensor.FromData(
+			dispatched.Data()[e*plan.Capacity*l.cfg.M:(e+1)*plan.Capacity*l.cfg.M],
+			plan.Capacity, l.cfg.M)
+		out, c := l.cfg.Experts[e].Forward(in)
+		caches[e] = c
+		copy(expertOut.Data()[e*plan.Capacity*l.cfg.M:(e+1)*plan.Capacity*l.cfg.M], out.Data())
+	}
+
+	combinedIn := l.hooks.beforeCombine(expertOut)
+	combined := l.disp.Combine(combinedIn)
+	combined = l.hooks.afterCombine(combined)
+
+	y := l.cfg.Order.Gather(combined, plan, n)
+	y = l.hooks.beforeMoeEnd(y)
+
+	cache := &LayerCache{
+		shape:     shape,
+		x:         flat,
+		routeC:    rc,
+		plan:      plan,
+		dispatchd: dispatched,
+		expertOut: combined,
+		expCaches: caches,
+		train:     train,
+	}
+	if len(shape) == 3 {
+		y = y.Reshape(shape...)
+	}
+	return y, cache, nil
+}
+
+// Backward propagates dy (same shape as the forward output) through the
+// layer, accumulating gradients into every gate and expert parameter, and
+// returns the gradient with respect to the input.
+//
+// The routing path is differentiated exactly: the combine-weight gradients
+// flow into the gate (softmax/sigmoid/cosine jacobians), and the data path
+// flows through I-order → experts → order. Hard top-k selection itself is
+// piecewise constant, so its "gradient" is zero almost everywhere, exactly
+// as in the PyTorch implementations the paper builds on.
+func (l *MOELayer) Backward(cache *LayerCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	var dflat *tensor.Tensor
+	switch dy.Rank() {
+	case 2:
+		dflat = dy
+	case 3:
+		dflat = dy.Reshape(dy.Dim(0)*dy.Dim(1), dy.Dim(2))
+	default:
+		return nil, fmt.Errorf("moe: dy must be (B,L,M) or (N,M), got %v", dy.Shape())
+	}
+	plan := cache.plan
+	n := cache.x.Dim(0)
+
+	// Through Gather (I-Order): gradient of expert outputs and of the
+	// combine weights.
+	dExpertOut, planGrad := l.cfg.Order.GatherGrad(dflat, cache.expertOut, plan)
+
+	// Through Combine (adjoint of the collective).
+	dExpertOut = l.disp.CombineGrad(dExpertOut)
+
+	// Through each expert.
+	dDispatched := tensor.New(plan.Experts, plan.Capacity, l.cfg.M)
+	for e := 0; e < plan.Experts; e++ {
+		dOut := tensor.FromData(
+			dExpertOut.Data()[e*plan.Capacity*l.cfg.M:(e+1)*plan.Capacity*l.cfg.M],
+			plan.Capacity, l.cfg.M)
+		dIn := l.cfg.Experts[e].Backward(cache.expCaches[e], dOut)
+		copy(dDispatched.Data()[e*plan.Capacity*l.cfg.M:(e+1)*plan.Capacity*l.cfg.M], dIn.Data())
+	}
+
+	// Through Dispatch.
+	dScattered := l.disp.DispatchGrad(dDispatched)
+
+	// Through Scatter (Order) back to tokens.
+	dx := l.cfg.Order.ScatterGrad(dScattered, plan, n)
+
+	// Dense plans additionally need the dispatch-weight gradient
+	// dD = dScattered_flat · xᵀ for the gate's backward.
+	if plan.IsDense() {
+		flatD := dScattered.Reshape(plan.Slots(), l.cfg.M)
+		planGrad.DispatchW = tensor.MatMulT2(flatD, cache.x)
+	}
+
+	// Routing path into the gate.
+	dxGate := l.cfg.Gate.Backward(cache.routeC, planGrad)
+	tensor.AddInPlace(dx, dxGate)
+
+	if len(cache.shape) == 3 {
+		dx = dx.Reshape(cache.shape...)
+	}
+	return dx, nil
+}

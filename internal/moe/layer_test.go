@@ -1,0 +1,367 @@
+package moe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+func newTestLayer(t *testing.T, rng *xrand.RNG, gate Gate, order Order) *MOELayer {
+	t.Helper()
+	experts := make([]Expert, testE)
+	for i := range experts {
+		e, err := NewGPTFFN(testM, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		experts[i] = e
+	}
+	l, err := NewMOELayer(LayerConfig{M: testM, Gate: gate, Order: order, Experts: experts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLayerConfigValidation(t *testing.T) {
+	rng := xrand.New(1)
+	g, _ := NewSigmoidGate(GateConfig{Experts: 2, TopK: 1}, 4, rng)
+	e, _ := NewGPTFFN(4, 8, rng)
+	cases := []LayerConfig{
+		{M: 0, Gate: g, Order: TutelOrder{}, Experts: []Expert{e}},
+		{M: 4, Order: TutelOrder{}, Experts: []Expert{e}},
+		{M: 4, Gate: g, Experts: []Expert{e}},
+		{M: 4, Gate: g, Order: TutelOrder{}},
+	}
+	for i, c := range cases {
+		if _, err := NewMOELayer(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestLayerForwardShapes(t *testing.T) {
+	rng := xrand.New(2)
+	for _, g := range allGates(t, rng) {
+		l := newTestLayer(t, rng, g, TutelOrder{})
+		// 3-D input.
+		x3 := tensor.RandN(rng, 1, 2, 5, testM)
+		y3, _, err := l.Forward(x3, false)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if y3.Rank() != 3 || y3.Dim(0) != 2 || y3.Dim(1) != 5 || y3.Dim(2) != testM {
+			t.Fatalf("%s: 3-D output shape %v", g.Name(), y3.Shape())
+		}
+		// 2-D input.
+		x2 := tensor.RandN(rng, 1, testN, testM)
+		y2, _, err := l.Forward(x2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y2.Rank() != 2 || y2.Dim(0) != testN {
+			t.Fatalf("%s: 2-D output shape %v", g.Name(), y2.Shape())
+		}
+	}
+}
+
+func TestLayerRejectsBadShapes(t *testing.T) {
+	rng := xrand.New(3)
+	l := newTestLayer(t, rng, mustSigmoid(t, rng), TutelOrder{})
+	if _, _, err := l.Forward(tensor.New(4), false); err == nil {
+		t.Error("rank-1 input accepted")
+	}
+	if _, _, err := l.Forward(tensor.New(3, testM+2), false); err == nil {
+		t.Error("wrong embedding accepted")
+	}
+}
+
+func mustSigmoid(t *testing.T, rng *xrand.RNG) Gate {
+	t.Helper()
+	g, err := NewSigmoidGate(GateConfig{Experts: testE, TopK: testK, Factor: 0}, testM, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestLayerOrderEquivalence: the same layer must produce identical outputs
+// under either ordering implementation (§3.1 interchangeability, end to
+// end).
+func TestLayerOrderEquivalence(t *testing.T) {
+	rngA := xrand.New(42)
+	rngB := xrand.New(42)
+	for i, mk := range []func(*xrand.RNG) Gate{
+		func(r *xrand.RNG) Gate {
+			g, _ := NewGShardGate(GateConfig{Experts: testE, TopK: testK}, testM, r)
+			return g
+		},
+		func(r *xrand.RNG) Gate {
+			g, _ := NewECGate(GateConfig{Experts: testE, TopK: testK, Factor: 1.2}, testM, r)
+			return g
+		},
+	} {
+		la := newTestLayer(t, rngA, mk(rngA), GShardOrder{})
+		lb := newTestLayer(t, rngB, mk(rngB), TutelOrder{})
+		rx := xrand.New(77)
+		x := tensor.RandN(rx, 1, testN, testM)
+		ya, _, err := la.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yb, _, err := lb.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ya.AllClose(yb, 1e-9) {
+			t.Fatalf("case %d: outputs differ between orders: max %v", i, ya.MaxAbsDiff(yb))
+		}
+	}
+}
+
+// TestLayerGradientsAllGates is the heavyweight correctness test: for every
+// gate, the analytic input gradient and all parameter gradients must match
+// central differences on a small layer.
+func TestLayerGradientsAllGates(t *testing.T) {
+	rng := xrand.New(2024)
+	for _, g := range allGates(t, rng) {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			l := newTestLayer(t, rng, g, TutelOrder{})
+			rx := xrand.New(5)
+			x := tensor.RandN(rx, 1, testN, testM)
+			r := tensor.RandN(rx, 1, testN, testM)
+
+			loss := func(xx *tensor.Tensor) float64 {
+				y, _, err := l.Forward(xx, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return lossOf(y, r)
+			}
+
+			l.ZeroGrad()
+			y, cache, err := l.Forward(x, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = y
+			dx, err := l.Backward(cache, r.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const eps = 1e-6
+			bad := 0
+			for i := 0; i < x.Size(); i += 5 {
+				num := numGradInput(loss, x, i, eps)
+				ana := dx.Data()[i]
+				if math.Abs(num-ana) > 2e-4*(1+math.Abs(num)) {
+					bad++
+					if bad < 4 {
+						t.Errorf("input grad[%d]: numeric %v vs analytic %v", i, num, ana)
+					}
+				}
+			}
+			if bad > 0 {
+				t.Fatalf("%d input-gradient mismatches", bad)
+			}
+
+			for _, p := range l.Params() {
+				stride := p.W.Size()/4 + 1
+				for i := 0; i < p.W.Size(); i += stride {
+					orig := p.W.Data()[i]
+					p.W.Data()[i] = orig + eps
+					up := loss(x)
+					p.W.Data()[i] = orig - eps
+					down := loss(x)
+					p.W.Data()[i] = orig
+					num := (up - down) / (2 * eps)
+					ana := p.G.Data()[i]
+					if math.Abs(num-ana) > 2e-4*(1+math.Abs(num)) {
+						t.Fatalf("%s grad[%d]: numeric %v vs analytic %v", p.Name, i, num, ana)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGShardNoisyPathGradients pins the noise matrix and checks that the
+// W_noise gradient path of the noisy gate is exact.
+func TestGShardNoisyPathGradients(t *testing.T) {
+	rng := xrand.New(31)
+	cfg := GateConfig{Experts: testE, TopK: testK, Factor: 0}
+	g, err := NewGShardGate(cfg, testM, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := tensor.RandN(xrand.New(99), 1, testN, testE)
+	g.SetFixedNoise(noise)
+	l := newTestLayer(t, rng, g, TutelOrder{})
+	rx := xrand.New(6)
+	x := tensor.RandN(rx, 1, testN, testM)
+	r := tensor.RandN(rx, 1, testN, testM)
+
+	loss := func(xx *tensor.Tensor) float64 {
+		y, _, err := l.Forward(xx, true) // train mode: noise active
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lossOf(y, r)
+	}
+	l.ZeroGrad()
+	_, cache, err := l.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Backward(cache, r.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	wnoise := g.Params()[1]
+	for i := 0; i < wnoise.W.Size(); i += 5 {
+		orig := wnoise.W.Data()[i]
+		wnoise.W.Data()[i] = orig + eps
+		up := loss(x)
+		wnoise.W.Data()[i] = orig - eps
+		down := loss(x)
+		wnoise.W.Data()[i] = orig
+		num := (up - down) / (2 * eps)
+		ana := wnoise.G.Data()[i]
+		if math.Abs(num-ana) > 2e-4*(1+math.Abs(num)) {
+			t.Fatalf("wnoise grad[%d]: numeric %v vs analytic %v", i, num, ana)
+		}
+	}
+}
+
+func TestHooksFireInOrder(t *testing.T) {
+	rng := xrand.New(16)
+	var calls []string
+	mark := func(name string) func(x *tensor.Tensor) *tensor.Tensor {
+		return func(x *tensor.Tensor) *tensor.Tensor {
+			calls = append(calls, name)
+			return x
+		}
+	}
+	experts := []Expert{mustExpert(t, rng), mustExpert(t, rng), mustExpert(t, rng), mustExpert(t, rng)}
+	l, err := NewMOELayer(LayerConfig{
+		M:       testM,
+		Gate:    mustSigmoid(t, rng),
+		Order:   TutelOrder{},
+		Experts: experts,
+		Hooks: []Hooks{{
+			BeforeMoeStart: mark("start"),
+			BeforeDispatch: mark("before-dispatch"),
+			AfterDispatch:  mark("after-dispatch"),
+			BeforeCombine:  mark("before-combine"),
+			AfterCombine:   mark("after-combine"),
+			BeforeMoeEnd:   mark("end"),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandN(rng, 1, testN, testM)
+	if _, _, err := l.Forward(x, false); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"start", "before-dispatch", "after-dispatch", "before-combine", "after-combine", "end"}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v", calls)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", calls, want)
+		}
+	}
+}
+
+func mustExpert(t *testing.T, rng *xrand.RNG) Expert {
+	t.Helper()
+	e, err := NewGPTFFN(testM, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestHookCanTransformActivations(t *testing.T) {
+	// A compression-style hook pair: scale down before dispatch, scale up
+	// after. The layer output must match the hook-free layer.
+	rngA := xrand.New(17)
+	rngB := xrand.New(17)
+	base := newTestLayer(t, rngA, mustSigmoid(t, rngA), TutelOrder{})
+	hooked, err := NewMOELayer(LayerConfig{
+		M:       testM,
+		Gate:    mustSigmoid(t, rngB),
+		Order:   TutelOrder{},
+		Experts: base.Experts(), // share experts so outputs are comparable
+		Hooks: []Hooks{{
+			BeforeDispatch: func(x *tensor.Tensor) *tensor.Tensor { return tensor.Scale(x, 0.5) },
+			AfterDispatch:  func(x *tensor.Tensor) *tensor.Tensor { return tensor.Scale(x, 2.0) },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandN(xrand.New(3), 1, testN, testM)
+	y1, _, err := base.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, _, err := hooked.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y1.AllClose(y2, 1e-9) {
+		t.Fatalf("hook round trip changed output: %v", y1.MaxAbsDiff(y2))
+	}
+}
+
+func TestLayerZeroGrad(t *testing.T) {
+	rng := xrand.New(18)
+	l := newTestLayer(t, rng, mustSigmoid(t, rng), TutelOrder{})
+	x := tensor.RandN(rng, 1, testN, testM)
+	_, cache, err := l.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Backward(cache, tensor.RandN(rng, 1, testN, testM)); err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	for _, p := range l.Params() {
+		for _, v := range p.G.Data() {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Fatal("backward accumulated no gradients")
+	}
+	l.ZeroGrad()
+	for _, p := range l.Params() {
+		for _, v := range p.G.Data() {
+			if v != 0 {
+				t.Fatal("ZeroGrad left residue")
+			}
+		}
+	}
+}
+
+func TestLayerGateExpertCountMismatch(t *testing.T) {
+	rng := xrand.New(19)
+	g, _ := NewSigmoidGate(GateConfig{Experts: 3, TopK: 1}, testM, rng)
+	e, _ := NewGPTFFN(testM, 8, rng)
+	l, err := NewMOELayer(LayerConfig{M: testM, Gate: g, Order: TutelOrder{}, Experts: []Expert{e, e}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Forward(tensor.RandN(rng, 1, 4, testM), false); err == nil {
+		t.Fatal("expected expert-count mismatch error")
+	}
+}

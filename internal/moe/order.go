@@ -1,0 +1,251 @@
+package moe
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Order is the data-layout sub-module of §3.1: it transforms token-major
+// (N, M) activations into the expert-major (E, T, M) layout the dispatch
+// AlltoAll expects (Scatter), and back (Gather, the "I-Order"), applying the
+// combine weights on the way back. Both implementations must produce
+// bit-identical results; they differ only in how a GPU would execute them.
+type Order interface {
+	Name() string
+	// Scatter lays out x (N, M) as (E, T, M) according to the plan.
+	// Weights are NOT applied here; empty slots are zero.
+	Scatter(x *tensor.Tensor, plan *DispatchPlan) *tensor.Tensor
+	// Gather inverts Scatter on the experts' outputs (E, T, M), producing
+	// (N, M) with each slot's contribution scaled by its combine weight.
+	Gather(expertOut *tensor.Tensor, plan *DispatchPlan, tokens int) *tensor.Tensor
+	// ScatterGrad back-propagates through Scatter: given the gradient of
+	// the (E, T, M) layout it returns the gradient of x.
+	ScatterGrad(dScattered *tensor.Tensor, plan *DispatchPlan, tokens int) *tensor.Tensor
+	// GatherGrad back-propagates through Gather: given dY (N, M) it
+	// returns the gradient of the experts' outputs (weights applied) and
+	// the gradient of each slot weight.
+	GatherGrad(dy, expertOut *tensor.Tensor, plan *DispatchPlan) (*tensor.Tensor, *PlanGrad)
+}
+
+// GShardOrder realizes the ordering as dense one-hot einsum/matmul, the
+// GShard formulation (§2.1): a (E·T, N) selection matrix multiplies the
+// token matrix. On a GPU this trades memory traffic for GEMM throughput.
+type GShardOrder struct{}
+
+// Name implements Order.
+func (GShardOrder) Name() string { return "gshard-einsum" }
+
+// selection builds the (E*T, N) 0/1 dispatch matrix for a hard plan.
+func selection(plan *DispatchPlan, tokens int) *tensor.Tensor {
+	s := tensor.New(plan.Slots(), tokens)
+	for e := range plan.SlotToken {
+		for slot, tok := range plan.SlotToken[e] {
+			if tok >= 0 {
+				s.Set(1, e*plan.Capacity+slot, tok)
+			}
+		}
+	}
+	return s
+}
+
+// weightedSelection builds the (N, E*T) combine matrix carrying weights.
+func weightedSelection(plan *DispatchPlan, tokens int) *tensor.Tensor {
+	c := tensor.New(tokens, plan.Slots())
+	for e := range plan.SlotToken {
+		for slot, tok := range plan.SlotToken[e] {
+			if tok >= 0 {
+				c.Set(plan.SlotWeight[e][slot], tok, e*plan.Capacity+slot)
+			}
+		}
+	}
+	return c
+}
+
+// Scatter implements Order.
+func (GShardOrder) Scatter(x *tensor.Tensor, plan *DispatchPlan) *tensor.Tensor {
+	if plan.IsDense() {
+		return tensor.MatMul(plan.DispatchW, x).Reshape(plan.Experts, plan.Capacity, x.Dim(1))
+	}
+	sel := selection(plan, x.Dim(0))
+	return tensor.MatMul(sel, x).Reshape(plan.Experts, plan.Capacity, x.Dim(1))
+}
+
+// Gather implements Order.
+func (GShardOrder) Gather(expertOut *tensor.Tensor, plan *DispatchPlan, tokens int) *tensor.Tensor {
+	m := expertOut.Dim(2)
+	flat := expertOut.Reshape(plan.Slots(), m)
+	if plan.IsDense() {
+		return tensor.MatMul(plan.CombineW, flat)
+	}
+	return tensor.MatMul(weightedSelection(plan, tokens), flat)
+}
+
+// ScatterGrad implements Order.
+func (GShardOrder) ScatterGrad(dScattered *tensor.Tensor, plan *DispatchPlan, tokens int) *tensor.Tensor {
+	m := dScattered.Dim(2)
+	flat := dScattered.Reshape(plan.Slots(), m)
+	if plan.IsDense() {
+		return tensor.MatMulT1(plan.DispatchW, flat)
+	}
+	return tensor.MatMulT1(selection(plan, tokens), flat)
+}
+
+// GatherGrad implements Order.
+func (GShardOrder) GatherGrad(dy, expertOut *tensor.Tensor, plan *DispatchPlan) (*tensor.Tensor, *PlanGrad) {
+	tokens := dy.Dim(0)
+	m := dy.Dim(1)
+	flatOut := expertOut.Reshape(plan.Slots(), m)
+	if plan.IsDense() {
+		dFlat := tensor.MatMulT1(plan.CombineW, dy)
+		dCombine := tensor.MatMulT2(dy, flatOut)
+		return dFlat.Reshape(plan.Experts, plan.Capacity, m), &PlanGrad{CombineW: dCombine}
+	}
+	c := weightedSelection(plan, tokens)
+	dFlat := tensor.MatMulT1(c, dy)
+	pg := &PlanGrad{SlotWeight: make([][]float64, plan.Experts)}
+	for e := range plan.SlotToken {
+		pg.SlotWeight[e] = make([]float64, plan.Capacity)
+		for slot, tok := range plan.SlotToken[e] {
+			if tok < 0 {
+				continue
+			}
+			// dWeight = <dy[token], expertOut[e,slot]>.
+			dot := 0.0
+			outRow := flatOut.Row(e*plan.Capacity + slot)
+			dyRow := dy.Row(tok)
+			for j := range dyRow {
+				dot += dyRow[j] * outRow[j]
+			}
+			pg.SlotWeight[e][slot] = dot
+		}
+	}
+	return dFlat.Reshape(plan.Experts, plan.Capacity, m), pg
+}
+
+// TutelOrder realizes the ordering as direct sparse scatter/gather loops —
+// the SIMT-efficient kernels of Tutel (§2.1) — parallelized across experts.
+type TutelOrder struct{}
+
+// Name implements Order.
+func (TutelOrder) Name() string { return "tutel-sparse" }
+
+// Scatter implements Order.
+func (TutelOrder) Scatter(x *tensor.Tensor, plan *DispatchPlan) *tensor.Tensor {
+	if plan.IsDense() {
+		// Dense routing has no sparse structure to exploit; both orders
+		// share the matmul formulation.
+		return GShardOrder{}.Scatter(x, plan)
+	}
+	m := x.Dim(1)
+	out := tensor.New(plan.Experts, plan.Capacity, m)
+	parallelExperts(plan.Experts, func(e int) {
+		for slot, tok := range plan.SlotToken[e] {
+			if tok < 0 {
+				continue
+			}
+			copy(out.Data()[(e*plan.Capacity+slot)*m:(e*plan.Capacity+slot+1)*m], x.Row(tok))
+		}
+	})
+	return out
+}
+
+// Gather implements Order.
+func (TutelOrder) Gather(expertOut *tensor.Tensor, plan *DispatchPlan, tokens int) *tensor.Tensor {
+	if plan.IsDense() {
+		return GShardOrder{}.Gather(expertOut, plan, tokens)
+	}
+	m := expertOut.Dim(2)
+	out := tensor.New(tokens, m)
+	// Token rows may receive from several experts; serialize on tokens by
+	// iterating experts in one goroutine per output shard is unsafe, so
+	// accumulate sequentially per expert (capacity × M copies are cheap).
+	for e := range plan.SlotToken {
+		for slot, tok := range plan.SlotToken[e] {
+			if tok < 0 {
+				continue
+			}
+			w := plan.SlotWeight[e][slot]
+			src := expertOut.Data()[(e*plan.Capacity+slot)*m : (e*plan.Capacity+slot+1)*m]
+			dst := out.Row(tok)
+			for j, v := range src {
+				dst[j] += w * v
+			}
+		}
+	}
+	return out
+}
+
+// ScatterGrad implements Order.
+func (TutelOrder) ScatterGrad(dScattered *tensor.Tensor, plan *DispatchPlan, tokens int) *tensor.Tensor {
+	if plan.IsDense() {
+		return GShardOrder{}.ScatterGrad(dScattered, plan, tokens)
+	}
+	m := dScattered.Dim(2)
+	out := tensor.New(tokens, m)
+	for e := range plan.SlotToken {
+		for slot, tok := range plan.SlotToken[e] {
+			if tok < 0 {
+				continue
+			}
+			src := dScattered.Data()[(e*plan.Capacity+slot)*m : (e*plan.Capacity+slot+1)*m]
+			dst := out.Row(tok)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return out
+}
+
+// GatherGrad implements Order.
+func (TutelOrder) GatherGrad(dy, expertOut *tensor.Tensor, plan *DispatchPlan) (*tensor.Tensor, *PlanGrad) {
+	if plan.IsDense() {
+		return GShardOrder{}.GatherGrad(dy, expertOut, plan)
+	}
+	m := dy.Dim(1)
+	dOut := tensor.New(plan.Experts, plan.Capacity, m)
+	pg := &PlanGrad{SlotWeight: make([][]float64, plan.Experts)}
+	for e := range plan.SlotToken {
+		pg.SlotWeight[e] = make([]float64, plan.Capacity)
+	}
+	parallelExperts(plan.Experts, func(e int) {
+		for slot, tok := range plan.SlotToken[e] {
+			if tok < 0 {
+				continue
+			}
+			w := plan.SlotWeight[e][slot]
+			dyRow := dy.Row(tok)
+			outRow := expertOut.Data()[(e*plan.Capacity+slot)*m : (e*plan.Capacity+slot+1)*m]
+			dst := dOut.Data()[(e*plan.Capacity+slot)*m : (e*plan.Capacity+slot+1)*m]
+			dot := 0.0
+			for j := range dyRow {
+				dst[j] = w * dyRow[j]
+				dot += dyRow[j] * outRow[j]
+			}
+			pg.SlotWeight[e][slot] = dot
+		}
+	})
+	return dOut, pg
+}
+
+// parallelExperts runs f(e) for each expert, in parallel when there are
+// enough of them to amortize goroutine startup.
+func parallelExperts(experts int, f func(e int)) {
+	if experts < 4 || runtime.GOMAXPROCS(0) == 1 {
+		for e := 0; e < experts; e++ {
+			f(e)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for e := 0; e < experts; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			f(e)
+		}(e)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package moe
+
+import (
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// SigmoidGate is the gate of BASE layers and StableMoE (§2.1):
+// scores s = x·W_g, top-k selection on the raw scores, and the expert
+// output scaled by σ(s_e). Because each expert's weight is an independent
+// sigmoid (no normalization across experts), increasing an expert's score
+// when it helps the objective directly reinforces its selection.
+type SigmoidGate struct {
+	cfg GateConfig
+	m   int
+	wg  *Param
+}
+
+type sigmoidCache struct {
+	scores *tensor.Tensor // x·W_g, (N, E)
+	selIdx [][]int
+	selW   [][]float64 // σ(s) at the selected experts
+}
+
+// NewSigmoidGate constructs the gate for embedding size m.
+func NewSigmoidGate(cfg GateConfig, m int, rng *xrand.RNG) (*SigmoidGate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SigmoidGate{cfg: cfg, m: m, wg: newParam("sigmoid.wg", tensor.Xavier(rng, m, cfg.Experts))}, nil
+}
+
+// Name implements Gate.
+func (g *SigmoidGate) Name() string { return "sigmoid" }
+
+// Params implements Gate.
+func (g *SigmoidGate) Params() []*Param { return []*Param{g.wg} }
+
+// Route implements Gate.
+func (g *SigmoidGate) Route(x *tensor.Tensor, train bool) (*DispatchPlan, *RouteCache, error) {
+	if err := checkGateInput(x, g.m); err != nil {
+		return nil, nil, err
+	}
+	n, e := x.Dim(0), g.cfg.Experts
+	scores := tensor.MatMul(x, g.wg.W)
+	cache := &sigmoidCache{scores: scores, selIdx: make([][]int, n), selW: make([][]float64, n)}
+	var asg []assignment
+	for t := 0; t < n; t++ {
+		row := scores.Row(t)
+		sel := tensor.TopK(row, g.cfg.TopK)
+		w := make([]float64, len(sel))
+		for j, idx := range sel {
+			w[j] = 1 / (1 + expNeg(row[idx]))
+		}
+		cache.selIdx[t] = sel
+		cache.selW[t] = w
+		for j, idx := range sel {
+			asg = append(asg, assignment{token: t, expert: idx, weight: w[j], choice: j})
+		}
+	}
+	capacity := CapacityFor(n, e, g.cfg.TopK, g.cfg.Factor)
+	plan := buildHardPlan(n, e, capacity, asg)
+	return plan, &RouteCache{X: x, Plan: plan, extra: cache}, nil
+}
+
+// Backward implements Gate.
+func (g *SigmoidGate) Backward(rc *RouteCache, grad *PlanGrad) *tensor.Tensor {
+	cache := rc.extra.(*sigmoidCache)
+	x := rc.X
+	n, e := x.Dim(0), g.cfg.Experts
+	dW := slotGradToTokenGrad(rc.Plan, cache.selIdx, grad.SlotWeight, n)
+	dScores := tensor.New(n, e)
+	for t := 0; t < n; t++ {
+		for j, idx := range cache.selIdx[t] {
+			s := cache.selW[t][j]
+			dScores.Set(dW[t][j]*s*(1-s), t, idx) // σ' = σ(1-σ)
+		}
+	}
+	tensor.AddInPlace(g.wg.G, tensor.MatMulT1(x, dScores))
+	return tensor.MatMulT2(dScores, g.wg.W)
+}
+
+func expNeg(x float64) float64 {
+	// exp(-x) via the tensor package's stable sigmoid would allocate; this
+	// tiny helper keeps the hot loop allocation-free.
+	if x > 700 {
+		return 0
+	}
+	if x < -700 {
+		return 1e308
+	}
+	return exp(-x)
+}

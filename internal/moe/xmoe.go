@@ -1,0 +1,139 @@
+package moe
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+func exp(x float64) float64 { return math.Exp(x) }
+
+// XMoEGate is the routing of X-MoE (§2.1): a low-rank projection
+// u = W_proj·x is compared against learned expert embeddings by cosine
+// similarity, s_e = cos(u, w_e), which mitigates representation collapse.
+// The scores are sharpened by a temperature τ and the combine weights are
+// the softmax over the selected experts' scores.
+type XMoEGate struct {
+	cfg  GateConfig
+	m    int
+	dim  int     // low-rank dimension
+	tau  float64 // temperature
+	proj *Param  // (M, dim)
+	emb  *Param  // (E, dim) expert embeddings
+}
+
+type xmoeCache struct {
+	u      *tensor.Tensor // x·W_proj, (N, dim)
+	cos    *tensor.Tensor // cosine scores, (N, E)
+	selIdx [][]int
+	selW   [][]float64
+}
+
+// NewXMoEGate constructs the gate. lowRank is the projection dimension
+// (the X-MoE paper uses a small value such as M/8); tau is the softmax
+// temperature (0 selects the X-MoE default of 0.3).
+func NewXMoEGate(cfg GateConfig, m, lowRank int, tau float64, rng *xrand.RNG) (*XMoEGate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lowRank <= 0 {
+		lowRank = m / 8
+		if lowRank < 2 {
+			lowRank = 2
+		}
+	}
+	if tau <= 0 {
+		tau = 0.3
+	}
+	return &XMoEGate{
+		cfg:  cfg,
+		m:    m,
+		dim:  lowRank,
+		tau:  tau,
+		proj: newParam("xmoe.proj", tensor.Xavier(rng, m, lowRank)),
+		emb:  newParam("xmoe.emb", tensor.Xavier(rng, cfg.Experts, lowRank)),
+	}, nil
+}
+
+// Name implements Gate.
+func (g *XMoEGate) Name() string { return "xmoe" }
+
+// Params implements Gate.
+func (g *XMoEGate) Params() []*Param { return []*Param{g.proj, g.emb} }
+
+// Route implements Gate.
+func (g *XMoEGate) Route(x *tensor.Tensor, train bool) (*DispatchPlan, *RouteCache, error) {
+	if err := checkGateInput(x, g.m); err != nil {
+		return nil, nil, err
+	}
+	n, e := x.Dim(0), g.cfg.Experts
+	u := tensor.MatMul(x, g.proj.W)
+	cos := tensor.CosineRows(u, g.emb.W)
+	cache := &xmoeCache{u: u, cos: cos, selIdx: make([][]int, n), selW: make([][]float64, n)}
+	var asg []assignment
+	for t := 0; t < n; t++ {
+		row := cos.Row(t)
+		sel := tensor.TopK(row, g.cfg.TopK)
+		kept := make([]float64, len(sel))
+		for j, idx := range sel {
+			kept[j] = row[idx] / g.tau
+		}
+		w := softmaxVec(kept)
+		cache.selIdx[t] = sel
+		cache.selW[t] = w
+		for j, idx := range sel {
+			asg = append(asg, assignment{token: t, expert: idx, weight: w[j], choice: j})
+		}
+	}
+	capacity := CapacityFor(n, e, g.cfg.TopK, g.cfg.Factor)
+	plan := buildHardPlan(n, e, capacity, asg)
+	return plan, &RouteCache{X: x, Plan: plan, extra: cache}, nil
+}
+
+// Backward implements Gate. The gradient flows through the selected-set
+// softmax, the temperature, and the full cosine similarity (both the inner
+// product and the two norms), into the projection, the expert embeddings,
+// and the input.
+func (g *XMoEGate) Backward(rc *RouteCache, grad *PlanGrad) *tensor.Tensor {
+	cache := rc.extra.(*xmoeCache)
+	x := rc.X
+	n := x.Dim(0)
+	dW := slotGradToTokenGrad(rc.Plan, cache.selIdx, grad.SlotWeight, n)
+	dU := tensor.New(n, g.dim)
+	for t := 0; t < n; t++ {
+		dscore := maskedSoftmaxBackward(cache.selW[t], dW[t])
+		urow := cache.u.Row(t)
+		un := norm(urow)
+		if un == 0 {
+			continue
+		}
+		for j, eIdx := range cache.selIdx[t] {
+			ds := dscore[j] / g.tau
+			if ds == 0 {
+				continue
+			}
+			vrow := g.emb.W.Row(eIdx)
+			vn := norm(vrow)
+			if vn == 0 {
+				continue
+			}
+			s := cache.cos.At(t, eIdx)
+			// d cos(u,v)/du = v/(|u||v|) - s·u/|u|²  (and symmetrically for v).
+			for d := 0; d < g.dim; d++ {
+				dU.Set(dU.At(t, d)+ds*(vrow[d]/(un*vn)-s*urow[d]/(un*un)), t, d)
+				g.emb.G.Set(g.emb.G.At(eIdx, d)+ds*(urow[d]/(un*vn)-s*vrow[d]/(vn*vn)), eIdx, d)
+			}
+		}
+	}
+	tensor.AddInPlace(g.proj.G, tensor.MatMulT1(x, dU))
+	return tensor.MatMulT2(dU, g.proj.W)
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

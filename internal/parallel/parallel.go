@@ -1,0 +1,165 @@
+// Package parallel constructs the hybrid-parallel device mesh of §2.2:
+// DP + MP + EP + ESP (+ PP), mapping global ranks to coordinates and
+// deriving the communicator groups each collective runs over.
+//
+// The paper's canonical scenario (§4) fixes the layout: the MP group and
+// the ESP group are the same set of GPUs — one full node — while EP and DP
+// share the node dimension (experts are spread across nodes; each node is
+// simultaneously one DP replica of the expert shards it hosts, as in
+// Fig. 2 where EP groups run across the DP direction). Pipeline stages, if
+// any, split the node dimension first.
+//
+// Mesh coordinates are (stage, node, local):
+//
+//	MP group  = ESP group = all locals of one (stage, node)   — intra-node
+//	EP group  = DP group  = all nodes of one (stage, local)   — inter-node
+//	PP group  = all stages of one (node, local)
+package parallel
+
+import "fmt"
+
+// Mesh is a validated device mesh.
+type Mesh struct {
+	P           int // total GPUs
+	GPUsPerNode int
+	NPP         int // pipeline stages
+	NodesPer    int // nodes per stage (= N_EP = N_DP)
+	NMP         int // = N_ESP = GPUsPerNode in the canonical scenario
+}
+
+// Coord locates a rank on the mesh.
+type Coord struct {
+	Stage int // pipeline stage
+	Node  int // node within the stage
+	Local int // GPU within the node
+}
+
+// NewMesh validates and builds a mesh for p GPUs grouped g per node with
+// npp pipeline stages. The MP/ESP group size is g, matching §4's scenario;
+// use NewMeshExplicit for other layouts.
+func NewMesh(p, g, npp int) (*Mesh, error) {
+	return NewMeshExplicit(p, g, g, npp)
+}
+
+// NewMeshExplicit builds a mesh with an MP/ESP group size of nmp, which
+// must divide the node size for the intra-node property the scheduler
+// depends on to hold.
+func NewMeshExplicit(p, g, nmp, npp int) (*Mesh, error) {
+	if p <= 0 || g <= 0 || npp <= 0 {
+		return nil, fmt.Errorf("parallel: sizes must be positive (P=%d g=%d NPP=%d)", p, g, npp)
+	}
+	if p%g != 0 {
+		return nil, fmt.Errorf("parallel: %d GPUs not divisible into nodes of %d", p, g)
+	}
+	if nmp != g {
+		return nil, fmt.Errorf("parallel: this mesh models the §4 scenario N_MP=N_ESP=%d GPUs/node, got N_MP=%d", g, nmp)
+	}
+	nodes := p / g
+	if nodes%npp != 0 {
+		return nil, fmt.Errorf("parallel: %d nodes not divisible into %d pipeline stages", nodes, npp)
+	}
+	return &Mesh{P: p, GPUsPerNode: g, NPP: npp, NodesPer: nodes / npp, NMP: nmp}, nil
+}
+
+// NEP returns the expert-parallel group size (nodes per stage).
+func (m *Mesh) NEP() int { return m.NodesPer }
+
+// NDP returns the data-parallel group size (nodes per stage).
+func (m *Mesh) NDP() int { return m.NodesPer }
+
+// NESP returns the expert-sharding group size.
+func (m *Mesh) NESP() int { return m.NMP }
+
+// Coord maps a global rank to its mesh coordinate. Ranks are laid out
+// stage-major, then node, then local — consecutive ranks share a node.
+func (m *Mesh) Coord(rank int) (Coord, error) {
+	if rank < 0 || rank >= m.P {
+		return Coord{}, fmt.Errorf("parallel: rank %d out of %d", rank, m.P)
+	}
+	perStage := m.NodesPer * m.GPUsPerNode
+	return Coord{
+		Stage: rank / perStage,
+		Node:  (rank % perStage) / m.GPUsPerNode,
+		Local: rank % m.GPUsPerNode,
+	}, nil
+}
+
+// Rank maps a coordinate back to the global rank.
+func (m *Mesh) Rank(c Coord) (int, error) {
+	if c.Stage < 0 || c.Stage >= m.NPP || c.Node < 0 || c.Node >= m.NodesPer || c.Local < 0 || c.Local >= m.GPUsPerNode {
+		return 0, fmt.Errorf("parallel: coordinate %+v outside mesh", c)
+	}
+	return (c.Stage*m.NodesPer+c.Node)*m.GPUsPerNode + c.Local, nil
+}
+
+// GroupKind names a communicator group.
+type GroupKind string
+
+const (
+	GroupMP  GroupKind = "mp"  // model parallel (intra-node)
+	GroupESP GroupKind = "esp" // expert sharding (intra-node; same GPUs as MP)
+	GroupEP  GroupKind = "ep"  // expert parallel (inter-node)
+	GroupDP  GroupKind = "dp"  // data parallel (inter-node; same GPUs as EP)
+	GroupPP  GroupKind = "pp"  // pipeline stages
+)
+
+// Group returns the ranks of the given group containing rank, in ascending
+// order.
+func (m *Mesh) Group(kind GroupKind, rank int) ([]int, error) {
+	c, err := m.Coord(rank)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	switch kind {
+	case GroupMP, GroupESP:
+		for l := 0; l < m.GPUsPerNode; l++ {
+			r, _ := m.Rank(Coord{Stage: c.Stage, Node: c.Node, Local: l})
+			out = append(out, r)
+		}
+	case GroupEP, GroupDP:
+		for n := 0; n < m.NodesPer; n++ {
+			r, _ := m.Rank(Coord{Stage: c.Stage, Node: n, Local: c.Local})
+			out = append(out, r)
+		}
+	case GroupPP:
+		for s := 0; s < m.NPP; s++ {
+			r, _ := m.Rank(Coord{Stage: s, Node: c.Node, Local: c.Local})
+			out = append(out, r)
+		}
+	default:
+		return nil, fmt.Errorf("parallel: unknown group kind %q", kind)
+	}
+	return out, nil
+}
+
+// IntraNode reports whether every pair of ranks in group shares a node.
+func (m *Mesh) IntraNode(group []int) bool {
+	if len(group) == 0 {
+		return true
+	}
+	first, err := m.Coord(group[0])
+	if err != nil {
+		return false
+	}
+	for _, r := range group[1:] {
+		c, err := m.Coord(r)
+		if err != nil {
+			return false
+		}
+		if c.Stage != first.Stage || c.Node != first.Node {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpertOwner returns the (stage-relative) node hosting expert e when
+// experts are distributed round-robin over the EP group, the standard EP
+// placement (§2.2).
+func (m *Mesh) ExpertOwner(e int) int {
+	if m.NodesPer == 0 {
+		return 0
+	}
+	return e % m.NodesPer
+}

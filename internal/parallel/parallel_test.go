@@ -1,0 +1,190 @@
+package parallel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestNewMeshValidation(t *testing.T) {
+	cases := []struct {
+		p, g, npp int
+		ok        bool
+	}{
+		{48, 8, 1, true},
+		{48, 8, 2, true},
+		{48, 8, 3, true},
+		{48, 8, 4, false}, // 6 nodes not divisible by 4 stages
+		{32, 4, 1, true},
+		{32, 4, 2, true},
+		{31, 4, 1, false}, // not divisible into nodes
+		{0, 4, 1, false},
+		{16, 4, 0, false},
+	}
+	for _, c := range cases {
+		_, err := NewMesh(c.p, c.g, c.npp)
+		if (err == nil) != c.ok {
+			t.Errorf("NewMesh(%d,%d,%d): err=%v, want ok=%v", c.p, c.g, c.npp, err, c.ok)
+		}
+	}
+}
+
+func TestCoordRankRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		configs := [][3]int{{48, 8, 1}, {48, 8, 2}, {32, 4, 1}, {32, 4, 2}, {16, 8, 1}}
+		cfg := configs[r.Intn(len(configs))]
+		m, err := NewMesh(cfg[0], cfg[1], cfg[2])
+		if err != nil {
+			return false
+		}
+		rank := r.Intn(m.P)
+		c, err := m.Coord(rank)
+		if err != nil {
+			return false
+		}
+		back, err := m.Rank(c)
+		return err == nil && back == rank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordBounds(t *testing.T) {
+	m, _ := NewMesh(32, 4, 1)
+	if _, err := m.Coord(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := m.Coord(32); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := m.Rank(Coord{Stage: 1}); err == nil {
+		t.Error("coordinate beyond stages accepted")
+	}
+}
+
+func TestGroupProperties(t *testing.T) {
+	// For each kind: groups partition the ranks, every member's group is
+	// identical, and the size matches the paper's formulas.
+	for _, cfg := range [][3]int{{48, 8, 1}, {48, 8, 2}, {32, 4, 2}} {
+		m, err := NewMesh(cfg[0], cfg[1], cfg[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := map[GroupKind]int{
+			GroupMP: m.GPUsPerNode, GroupESP: m.GPUsPerNode,
+			GroupEP: m.NodesPer, GroupDP: m.NodesPer,
+			GroupPP: m.NPP,
+		}
+		for kind, wantSize := range sizes {
+			seen := map[int]bool{}
+			for rank := 0; rank < m.P; rank++ {
+				grp, err := m.Group(kind, rank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(grp) != wantSize {
+					t.Fatalf("%v group of rank %d has %d members, want %d (cfg %v)", kind, rank, len(grp), wantSize, cfg)
+				}
+				found := false
+				for _, g := range grp {
+					if g == rank {
+						found = true
+					}
+					// Group must be consistent: every member maps to the
+					// same group.
+					grp2, err := m.Group(kind, g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range grp {
+						if grp[i] != grp2[i] {
+							t.Fatalf("%v group not consistent between %d and %d", kind, rank, g)
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("%v group of rank %d does not contain it", kind, rank)
+				}
+				seen[rank] = true
+			}
+			if len(seen) != m.P {
+				t.Fatalf("%v groups do not cover all ranks", kind)
+			}
+		}
+	}
+}
+
+func TestIntraInterClassification(t *testing.T) {
+	// The premise of §4: MP/ESP groups are intra-node; EP/DP are not
+	// (unless the stage has a single node).
+	m, _ := NewMesh(48, 8, 1)
+	for rank := 0; rank < m.P; rank += 7 {
+		mp, _ := m.Group(GroupMP, rank)
+		if !m.IntraNode(mp) {
+			t.Fatalf("MP group of %d is not intra-node", rank)
+		}
+		esp, _ := m.Group(GroupESP, rank)
+		if !m.IntraNode(esp) {
+			t.Fatalf("ESP group of %d is not intra-node", rank)
+		}
+		ep, _ := m.Group(GroupEP, rank)
+		if m.IntraNode(ep) {
+			t.Fatalf("EP group of %d should span nodes", rank)
+		}
+	}
+}
+
+func TestMPAndESPAreTheSameGPUs(t *testing.T) {
+	m, _ := NewMesh(32, 4, 1)
+	for rank := 0; rank < m.P; rank++ {
+		mp, _ := m.Group(GroupMP, rank)
+		esp, _ := m.Group(GroupESP, rank)
+		for i := range mp {
+			if mp[i] != esp[i] {
+				t.Fatalf("MP and ESP groups differ at rank %d", rank)
+			}
+		}
+	}
+}
+
+func TestPPGroupsWithTwoStages(t *testing.T) {
+	m, _ := NewMesh(48, 8, 2)
+	pp, err := m.Group(GroupPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pp) != 2 {
+		t.Fatalf("PP group size %d, want 2", len(pp))
+	}
+	// The stage peer of rank 0 is the same (node, local) in stage 1:
+	// stage size = 3 nodes × 8 = 24.
+	if pp[1] != 24 {
+		t.Fatalf("PP peer of rank 0 = %d, want 24", pp[1])
+	}
+}
+
+func TestExpertOwnerRoundRobin(t *testing.T) {
+	m, _ := NewMesh(48, 8, 1) // 6 nodes
+	for e := 0; e < 12; e++ {
+		if m.ExpertOwner(e) != e%6 {
+			t.Fatalf("expert %d owner %d", e, m.ExpertOwner(e))
+		}
+	}
+}
+
+func TestUnknownGroupKind(t *testing.T) {
+	m, _ := NewMesh(8, 4, 1)
+	if _, err := m.Group("bogus", 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDerivedSizes(t *testing.T) {
+	m, _ := NewMesh(48, 8, 2)
+	if m.NEP() != 3 || m.NDP() != 3 || m.NESP() != 8 {
+		t.Fatalf("derived sizes: NEP=%d NDP=%d NESP=%d", m.NEP(), m.NDP(), m.NESP())
+	}
+}

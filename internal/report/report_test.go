@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", 1.234)
+	tb.AddRow("beta-with-long-name", 56.7)
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.23") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same prefix width for col 2.
+	if !strings.Contains(lines[1], "name") {
+		t.Fatalf("header line wrong: %q", lines[1])
+	}
+}
+
+func TestTableMixedTypes(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow(1, "x", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "1") || !strings.Contains(out, "x") || !strings.Contains(out, "2.50") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series("fsmoe", []string{"L=512", "L=1024"}, []float64{1.5, 2.25})
+	if !strings.Contains(s, "fsmoe:") || !strings.Contains(s, "L=512=1.50") || !strings.Contains(s, "L=1024=2.25") {
+		t.Fatalf("series = %q", s)
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bar lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "█") != 10 {
+		t.Fatalf("max bar should fill width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "█") != 5 {
+		t.Fatalf("half bar should be half width: %q", lines[0])
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	out := Bar([]string{"z"}, []float64{0}, 10)
+	if !strings.Contains(out, "0.00") {
+		t.Fatalf("zero bar: %q", out)
+	}
+}

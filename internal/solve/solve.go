@@ -1,0 +1,232 @@
+// Package solve provides the numerical optimization routines the paper
+// delegates to SciPy: a 1-D minimizer for the pipeline-degree objectives of
+// §4.2 (the role SLSQP plays in Algorithm 1) and a differential-evolution
+// optimizer for the gradient-partitioning problem of §5.3.
+//
+// All four case objectives in §4.2 have the form f(r) = a·r + b/r + c with
+// a, b ≥ 0, whose unconstrained minimum over r > 0 is at r* = sqrt(b/a);
+// MinimizeRational exploits that. GoldenSection handles anything unimodal,
+// and Minimize1D combines both with a coarse scan so that non-unimodal
+// feasibility-restricted objectives are still handled robustly.
+package solve
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// MinimizeRational returns the r in [lo, hi] minimizing a·r + b/r + c,
+// assuming a, b >= 0 and 0 < lo <= hi. The minimizer is the projection of
+// sqrt(b/a) onto the interval.
+func MinimizeRational(a, b, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if a <= 0 {
+		// Monotone decreasing in r (plus the b/r term): largest r wins.
+		if b <= 0 {
+			return lo
+		}
+		return hi
+	}
+	if b <= 0 {
+		return lo
+	}
+	r := math.Sqrt(b / a)
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}
+
+const goldenRatio = 0.6180339887498949 // (sqrt(5)-1)/2
+
+// GoldenSection minimizes a unimodal f over [lo, hi] to within tol and
+// returns the minimizing x.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	a, b := lo, hi
+	x1 := b - goldenRatio*(b-a)
+	x2 := a + goldenRatio*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - goldenRatio*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + goldenRatio*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Minimize1D minimizes an arbitrary (possibly non-unimodal) f over
+// [lo, hi]: it scans gridN points to bracket the best region, then refines
+// with golden section. Returns (argmin, min).
+func Minimize1D(f func(float64) float64, lo, hi float64, gridN int) (float64, float64) {
+	if gridN < 3 {
+		gridN = 3
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	bestX, bestF := lo, f(lo)
+	step := (hi - lo) / float64(gridN-1)
+	for i := 1; i < gridN; i++ {
+		x := lo + float64(i)*step
+		if v := f(x); v < bestF {
+			bestX, bestF = x, v
+		}
+	}
+	a := math.Max(lo, bestX-step)
+	b := math.Min(hi, bestX+step)
+	x := GoldenSection(f, a, b, 1e-6*(hi-lo+1))
+	if v := f(x); v < bestF {
+		bestX, bestF = x, v
+	}
+	return bestX, bestF
+}
+
+// DEOptions configures DifferentialEvolution.
+type DEOptions struct {
+	PopSize    int     // population size; default 15 per dimension, capped
+	Gens       int     // generations; default 200
+	F          float64 // differential weight; default 0.7
+	CR         float64 // crossover probability; default 0.9
+	Seed       uint64  // RNG seed; default 1
+	TolStall   int     // stop after this many generations without improvement; 0 = never
+	InitCenter []float64
+}
+
+// DifferentialEvolution minimizes obj over the box given by bounds
+// (bounds[i] = {lo, hi}) using the classic DE/rand/1/bin strategy — the
+// algorithm the paper adopts for gradient-partition optimization (§5.3,
+// citing Price). It returns the best vector and its objective value. The
+// search is fully deterministic for a fixed seed.
+func DifferentialEvolution(obj func([]float64) float64, bounds [][2]float64, opt DEOptions) ([]float64, float64) {
+	dim := len(bounds)
+	if dim == 0 {
+		return nil, obj(nil)
+	}
+	if opt.PopSize == 0 {
+		opt.PopSize = 15 * dim
+		if opt.PopSize > 120 {
+			opt.PopSize = 120
+		}
+		if opt.PopSize < 8 {
+			opt.PopSize = 8
+		}
+	}
+	if opt.Gens == 0 {
+		opt.Gens = 200
+	}
+	if opt.F == 0 {
+		opt.F = 0.7
+	}
+	if opt.CR == 0 {
+		opt.CR = 0.9
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	rng := xrand.New(opt.Seed)
+
+	clamp := func(v float64, d int) float64 {
+		if v < bounds[d][0] {
+			return bounds[d][0]
+		}
+		if v > bounds[d][1] {
+			return bounds[d][1]
+		}
+		return v
+	}
+
+	pop := make([][]float64, opt.PopSize)
+	fit := make([]float64, opt.PopSize)
+	for i := range pop {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = rng.Range(bounds[d][0], bounds[d][1])
+		}
+		if i == 0 && opt.InitCenter != nil {
+			for d := range v {
+				v[d] = clamp(opt.InitCenter[d], d)
+			}
+		}
+		pop[i] = v
+		fit[i] = obj(v)
+	}
+	bestI := 0
+	for i := 1; i < opt.PopSize; i++ {
+		if fit[i] < fit[bestI] {
+			bestI = i
+		}
+	}
+	stall := 0
+	trial := make([]float64, dim)
+	for g := 0; g < opt.Gens; g++ {
+		improved := false
+		for i := 0; i < opt.PopSize; i++ {
+			// Pick three distinct peers != i.
+			var a, b, c int
+			for {
+				a = rng.Intn(opt.PopSize)
+				if a != i {
+					break
+				}
+			}
+			for {
+				b = rng.Intn(opt.PopSize)
+				if b != i && b != a {
+					break
+				}
+			}
+			for {
+				c = rng.Intn(opt.PopSize)
+				if c != i && c != a && c != b {
+					break
+				}
+			}
+			jrand := rng.Intn(dim)
+			for d := 0; d < dim; d++ {
+				if d == jrand || rng.Float64() < opt.CR {
+					trial[d] = clamp(pop[a][d]+opt.F*(pop[b][d]-pop[c][d]), d)
+				} else {
+					trial[d] = pop[i][d]
+				}
+			}
+			tv := obj(trial)
+			if tv <= fit[i] {
+				copy(pop[i], trial)
+				fit[i] = tv
+				if tv < fit[bestI] {
+					bestI = i
+					improved = true
+				}
+			}
+		}
+		if improved {
+			stall = 0
+		} else {
+			stall++
+			if opt.TolStall > 0 && stall >= opt.TolStall {
+				break
+			}
+		}
+	}
+	best := make([]float64, dim)
+	copy(best, pop[bestI])
+	return best, fit[bestI]
+}

@@ -1,0 +1,168 @@
+package solve
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestMinimizeRationalInterior(t *testing.T) {
+	// f(r) = 2r + 8/r: minimum at r = 2.
+	r := MinimizeRational(2, 8, 1, 10)
+	if math.Abs(r-2) > 1e-12 {
+		t.Fatalf("r = %v, want 2", r)
+	}
+}
+
+func TestMinimizeRationalClamping(t *testing.T) {
+	if r := MinimizeRational(2, 8, 3, 10); r != 3 {
+		t.Fatalf("clamp low: %v", r)
+	}
+	if r := MinimizeRational(2, 8, 0.5, 1); r != 1 {
+		t.Fatalf("clamp to hi when r* above interval: %v", r)
+	}
+}
+
+func TestMinimizeRationalClampHigh(t *testing.T) {
+	if r := MinimizeRational(2, 800, 1, 5); r != 5 {
+		t.Fatalf("clamp high: %v", r)
+	}
+}
+
+func TestMinimizeRationalDegenerate(t *testing.T) {
+	if r := MinimizeRational(0, 8, 1, 5); r != 5 {
+		t.Fatalf("a=0 should push to hi: %v", r)
+	}
+	if r := MinimizeRational(2, 0, 1, 5); r != 1 {
+		t.Fatalf("b=0 should push to lo: %v", r)
+	}
+	if r := MinimizeRational(0, 0, 1, 5); r != 1 {
+		t.Fatalf("a=b=0: %v", r)
+	}
+}
+
+func TestMinimizeRationalMatchesGrid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := rng.Range(0.01, 5)
+		b := rng.Range(0.01, 100)
+		lo, hi := 1.0, 64.0
+		r := MinimizeRational(a, b, lo, hi)
+		fr := a*r + b/r
+		// No grid point may beat the analytic minimum.
+		for x := lo; x <= hi; x += 0.25 {
+			if a*x+b/x < fr-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	x := GoldenSection(func(x float64) float64 { return (x - 3.7) * (x - 3.7) }, 0, 10, 1e-9)
+	if math.Abs(x-3.7) > 1e-6 {
+		t.Fatalf("x = %v, want 3.7", x)
+	}
+}
+
+func TestGoldenSectionReversedBounds(t *testing.T) {
+	x := GoldenSection(func(x float64) float64 { return math.Abs(x - 1) }, 5, -5, 1e-9)
+	if math.Abs(x-1) > 1e-6 {
+		t.Fatalf("x = %v, want 1", x)
+	}
+}
+
+func TestMinimize1DNonUnimodal(t *testing.T) {
+	// Two basins; global min at x = 8.
+	f := func(x float64) float64 {
+		return math.Min((x-2)*(x-2)+1, (x-8)*(x-8))
+	}
+	x, v := Minimize1D(f, 0, 10, 50)
+	if math.Abs(x-8) > 1e-3 || v > 1e-6 {
+		t.Fatalf("x = %v v = %v, want x=8 v=0", x, v)
+	}
+}
+
+func TestDESphere(t *testing.T) {
+	obj := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}
+	bounds := [][2]float64{{-5, 5}, {-5, 5}, {-5, 5}}
+	best, v := DifferentialEvolution(obj, bounds, DEOptions{Seed: 3})
+	if v > 1e-4 {
+		t.Fatalf("DE failed on sphere: best %v value %v", best, v)
+	}
+}
+
+func TestDERosenbrock(t *testing.T) {
+	obj := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	best, v := DifferentialEvolution(obj, [][2]float64{{-2, 2}, {-2, 2}},
+		DEOptions{Seed: 7, Gens: 400})
+	if v > 1e-3 {
+		t.Fatalf("DE failed on rosenbrock: best %v value %v", best, v)
+	}
+	if math.Abs(best[0]-1) > 0.05 || math.Abs(best[1]-1) > 0.1 {
+		t.Fatalf("DE argmin %v, want (1,1)", best)
+	}
+}
+
+func TestDERespectsBounds(t *testing.T) {
+	obj := func(x []float64) float64 { return -x[0] - x[1] } // push to upper bounds
+	best, _ := DifferentialEvolution(obj, [][2]float64{{0, 3}, {0, 7}}, DEOptions{Seed: 2})
+	if best[0] > 3+1e-12 || best[1] > 7+1e-12 {
+		t.Fatalf("bounds violated: %v", best)
+	}
+	if math.Abs(best[0]-3) > 1e-6 || math.Abs(best[1]-7) > 1e-6 {
+		t.Fatalf("DE should reach the corner: %v", best)
+	}
+}
+
+func TestDEDeterministic(t *testing.T) {
+	obj := func(x []float64) float64 { return math.Abs(x[0] - 0.25) }
+	b := [][2]float64{{0, 1}}
+	x1, v1 := DifferentialEvolution(obj, b, DEOptions{Seed: 9})
+	x2, v2 := DifferentialEvolution(obj, b, DEOptions{Seed: 9})
+	if x1[0] != x2[0] || v1 != v2 {
+		t.Fatal("DE must be deterministic for a fixed seed")
+	}
+}
+
+func TestDEInitCenterUsed(t *testing.T) {
+	// With a tiny budget, seeding the population with the optimum must win.
+	obj := func(x []float64) float64 { return math.Abs(x[0]-0.123) + math.Abs(x[1]-0.456) }
+	best, v := DifferentialEvolution(obj, [][2]float64{{0, 1}, {0, 1}},
+		DEOptions{Seed: 1, Gens: 1, PopSize: 8, InitCenter: []float64{0.123, 0.456}})
+	if v > 1e-12 {
+		t.Fatalf("init center ignored: best %v value %v", best, v)
+	}
+}
+
+func TestDEEmptyDims(t *testing.T) {
+	_, v := DifferentialEvolution(func(x []float64) float64 { return 42 }, nil, DEOptions{})
+	if v != 42 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestDEStall(t *testing.T) {
+	calls := 0
+	obj := func(x []float64) float64 { calls++; return 1 } // flat: stalls immediately
+	DifferentialEvolution(obj, [][2]float64{{0, 1}}, DEOptions{Seed: 1, TolStall: 3, Gens: 10000, PopSize: 8})
+	if calls > 8+8*200 {
+		t.Fatalf("stall did not stop early: %d calls", calls)
+	}
+}

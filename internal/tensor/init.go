@@ -1,0 +1,34 @@
+package tensor
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// RandN fills a new tensor of the given shape with N(0, std²) values drawn
+// from rng.
+func RandN(rng *xrand.RNG, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with uniform values in [lo, hi).
+func RandUniform(rng *xrand.RNG, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.Range(lo, hi)
+	}
+	return t
+}
+
+// Xavier returns a (fanIn, fanOut) weight matrix initialized with the
+// Glorot-uniform scheme, the default for the paper's linear gates and
+// expert feed-forward layers.
+func Xavier(rng *xrand.RNG, fanIn, fanOut int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, -limit, limit, fanIn, fanOut)
+}

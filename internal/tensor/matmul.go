@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the FLOP count above which MatMul shards rows
+// across goroutines. Below it, goroutine startup costs more than it saves.
+const matmulParallelThreshold = 1 << 18
+
+// MatMul returns a @ b for 2-D tensors with shapes (m,k) and (k,n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	out := New(m, n)
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// matmulInto computes dst = A @ B where A is (m,k), B is (k,n), all
+// row-major. The i-k-j loop order keeps the inner loop streaming through
+// contiguous rows of B and dst, which is the standard cache-friendly layout
+// for row-major GEMM.
+func matmulInto(dst, a, b []float64, m, k, n int) {
+	flops := m * k * n
+	if flops < matmulParallelThreshold || m == 1 {
+		matmulRows(dst, a, b, 0, m, k, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(dst, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		di := dst[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT1 returns aᵀ @ b where a is (k,m) and b is (k,n); the result is
+// (m,n). This is the shape needed for weight gradients (xᵀ @ dy) without
+// materializing the transpose.
+func MatMulT1(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT1 requires 2-D tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMulT1 inner dimension mismatch")
+	}
+	out := New(m, n)
+	// dst[i,j] = sum_p a[p,i]*b[p,j]: accumulate rank-1 updates row by row.
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			di := out.data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 returns a @ bᵀ where a is (m,k) and b is (n,k); the result is
+// (m,n). This is the shape needed for input gradients (dy @ Wᵀ) without
+// materializing the transpose.
+func MatMulT2(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT2 requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic("tensor: MatMulT2 inner dimension mismatch")
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		di := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			di[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose2D requires a 2-D tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// BatchedMatMul multiplies two 3-D tensors batch-wise: (b,m,k)@(b,k,n) →
+// (b,m,n). Batches run in parallel when large enough.
+func BatchedMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic("tensor: BatchedMatMul requires 3-D tensors")
+	}
+	bs, m, k := a.shape[0], a.shape[1], a.shape[2]
+	bs2, k2, n := b.shape[0], b.shape[1], b.shape[2]
+	if bs != bs2 || k != k2 {
+		panic("tensor: BatchedMatMul shape mismatch")
+	}
+	out := New(bs, m, n)
+	var wg sync.WaitGroup
+	for i := 0; i < bs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			matmulRows(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], 0, m, k, n)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

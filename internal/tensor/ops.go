@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	checkSameShape("Add", a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSameShape("Sub", a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	checkSameShape("Mul", a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] *= v
+	}
+	return out
+}
+
+// Scale returns a * s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := a.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Tensor) {
+	checkSameShape("AddInPlace", a, b)
+	for i, v := range b.data {
+		a.data[i] += v
+	}
+}
+
+// AddScaledInPlace accumulates s*b into a.
+func AddScaledInPlace(a *Tensor, s float64, b *Tensor) {
+	checkSameShape("AddScaledInPlace", a, b)
+	for i, v := range b.data {
+		a.data[i] += s * v
+	}
+}
+
+// AddRowVector adds a length-n vector v to every row of a 2-D (m,n) tensor,
+// as a bias term does.
+func AddRowVector(a *Tensor, v *Tensor) *Tensor {
+	if a.Rank() != 2 || v.Rank() != 1 || a.shape[1] != v.shape[0] {
+		panic("tensor: AddRowVector shape mismatch")
+	}
+	out := a.Clone()
+	n := a.shape[1]
+	for i := 0; i < a.shape[0]; i++ {
+		row := out.data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += v.data[j]
+		}
+	}
+	return out
+}
+
+func checkSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// Apply returns f applied elementwise.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := a.Clone()
+	for i, v := range out.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func Sum(a *Tensor) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements, or 0 for empty tensors.
+func Mean(a *Tensor) float64 {
+	if len(a.data) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a.data))
+}
+
+// Sigmoid returns 1/(1+e^-x) elementwise.
+func Sigmoid(a *Tensor) *Tensor { return Apply(a, sigmoid) }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// SigmoidGrad returns the derivative of sigmoid given its output y.
+func SigmoidGrad(y float64) float64 { return y * (1 - y) }
+
+// Softplus returns log(1+e^x) elementwise, computed stably.
+func Softplus(a *Tensor) *Tensor { return Apply(a, softplus) }
+
+func softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// GeLU applies the Gaussian error linear unit (tanh approximation, as used
+// by GPT-2) elementwise.
+func GeLU(a *Tensor) *Tensor { return Apply(a, gelu) }
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+func gelu(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x)))
+}
+
+// GeLUGrad returns d gelu(x)/dx at x.
+func GeLUGrad(x float64) float64 {
+	inner := geluC * (x + 0.044715*x*x*x)
+	t := math.Tanh(inner)
+	dinner := geluC * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*dinner
+}
+
+// SiLU applies x*sigmoid(x) (the activation used by Mixtral) elementwise.
+func SiLU(a *Tensor) *Tensor { return Apply(a, silu) }
+
+func silu(x float64) float64 { return x * sigmoid(x) }
+
+// SiLUGrad returns d silu(x)/dx at x.
+func SiLUGrad(x float64) float64 {
+	s := sigmoid(x)
+	return s + x*s*(1-s)
+}
+
+// ReLU applies max(0,x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	return Apply(a, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	})
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Tensor) *Tensor { return Apply(a, math.Tanh) }
+
+// Exp applies e^x elementwise.
+func Exp(a *Tensor) *Tensor { return Apply(a, math.Exp) }

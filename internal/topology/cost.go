@@ -1,0 +1,99 @@
+package topology
+
+// OpKind identifies a modelled operation for costing and breakdown
+// aggregation. The names mirror the paper's task legend in Fig. 3.
+type OpKind string
+
+const (
+	OpA2A     OpKind = "AlltoAll"      // hierarchical (2DH) AlltoAll, inter-node
+	OpA2AFlat OpKind = "AlltoAll-flat" // direct NCCL AlltoAll (DeepSpeed-MoE)
+	OpAG      OpKind = "AllGather"     // ESP-AllGather, intra-node
+	OpRS      OpKind = "ReduceScatter" // ESP-ReduceScatter, intra-node
+	OpAR      OpKind = "AllReduce"     // Gradient-AllReduce, inter-node
+	OpGEMM    OpKind = "GEMM"          // expert / attention compute
+)
+
+// Cost returns the ground-truth duration in milliseconds for an operation
+// of the given size (bytes for collectives, MACs for GEMM) under the
+// cluster's linear model. Zero-sized operations cost nothing: the schedule
+// builders rely on that to elide absent tasks rather than paying startup
+// for them.
+func (c *Cluster) Cost(kind OpKind, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	switch kind {
+	case OpA2A:
+		return c.AlphaA2A + n*c.BetaA2A
+	case OpAG:
+		return c.AlphaAG + n*c.BetaAG
+	case OpRS:
+		return c.AlphaRS + n*c.BetaRS
+	case OpAR:
+		return c.AlphaAR + n*c.BetaAR
+	case OpGEMM:
+		return c.AlphaGEMM + n*c.BetaGEMM
+	case OpA2AFlat:
+		// Callers should use CostFlatA2A to supply the peer count; with no
+		// information, assume the full inter-node span.
+		return c.CostFlatA2A(n, c.Nodes)
+	default:
+		panic("topology: unknown op kind " + string(kind))
+	}
+}
+
+// CostFlatA2A models the direct (single-phase) AlltoAll used by
+// DeepSpeed-MoE: every rank opens a send to each of the peers-1 others, so
+// startup grows linearly with the group size, and link utilization is worse
+// than the hierarchical algorithm by FlatA2ABWPenalty. Tutel's 2DH
+// algorithm (our OpA2A) replaces this with two node-local phases, which is
+// why the paper's DS-MoE gap widens with cluster size (Figs. 6–7).
+func (c *Cluster) CostFlatA2A(n float64, peers int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if peers < 1 {
+		peers = 1
+	}
+	penalty := c.FlatA2ABWPenalty * (1 + c.FlatA2ACongestion*float64(peers-1))
+	return c.AlphaA2A + float64(peers-1)*c.FlatA2AAlphaPeer + n*c.BetaA2A*penalty
+}
+
+// Measured returns Cost with a small deterministic pseudo-noise applied,
+// standing in for run-to-run jitter of a real microbenchmark. The noise is
+// a pure function of (cluster, kind, n), so experiments are reproducible.
+func (c *Cluster) Measured(kind OpKind, n float64) float64 {
+	t := c.Cost(kind, n)
+	return t * (1 + c.noise(kind, n))
+}
+
+// MeasuredFlatA2A is the noisy counterpart of CostFlatA2A.
+func (c *Cluster) MeasuredFlatA2A(n float64, peers int) float64 {
+	t := c.CostFlatA2A(n, peers)
+	return t * (1 + c.noise(OpA2AFlat, n+float64(peers)))
+}
+
+// noise returns a deterministic value in [-NoiseAmp, +NoiseAmp].
+func (c *Cluster) noise(kind OpKind, n float64) float64 {
+	if c.NoiseAmp == 0 {
+		return 0
+	}
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for _, b := range []byte(c.Name) {
+		mix(b)
+	}
+	for _, b := range []byte(kind) {
+		mix(b)
+	}
+	u := uint64(n)
+	for i := 0; i < 8; i++ {
+		mix(byte(u >> (8 * i)))
+	}
+	// Map to [0,1) then to [-amp, +amp].
+	f := float64(h>>11) / (1 << 53)
+	return c.NoiseAmp * (2*f - 1)
+}

@@ -1,0 +1,171 @@
+// Package train provides the optimizers and training loop used to verify
+// that the MoE stack actually learns — the functional counterpart of the
+// scheduling experiments. It deliberately mirrors the PyTorch workflow the
+// paper's Listing 2 plugs into: forward, loss, backward, optimizer step.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/moe"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*moe.Param)
+	Name() string
+}
+
+// SGD is plain (optionally momentum) stochastic gradient descent.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*moe.Param]*tensor.Tensor
+}
+
+// NewSGD constructs SGD with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: map[*moe.Param]*tensor.Tensor{}}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*moe.Param) {
+	for _, p := range params {
+		w, g := p.W.Data(), p.G.Data()
+		if s.Momentum == 0 {
+			for i := range w {
+				w[i] -= s.LR * g[i]
+			}
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.W.Shape()...)
+			s.velocity[p] = v
+		}
+		vd := v.Data()
+		for i := range w {
+			vd[i] = s.Momentum*vd[i] + g[i]
+			w[i] -= s.LR * vd[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*moe.Param]*tensor.Tensor
+}
+
+// NewAdam constructs Adam with standard defaults for zero-valued options.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*moe.Param]*tensor.Tensor{}, v: map[*moe.Param]*tensor.Tensor{},
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*moe.Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.W.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.W.Shape()...)
+		}
+		v := a.v[p]
+		w, g, md, vd := p.W.Data(), p.G.Data(), m.Data(), v.Data()
+		for i := range w {
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g[i]
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*g[i]*g[i]
+			w[i] -= a.LR * (md[i] / c1) / (math.Sqrt(vd[i]/c2) + a.Eps)
+		}
+	}
+}
+
+// MSELoss returns ½·mean((y−target)²) and its gradient w.r.t. y.
+func MSELoss(y, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	diff := tensor.Sub(y, target)
+	n := float64(diff.Size())
+	loss := 0.0
+	for _, d := range diff.Data() {
+		loss += d * d
+	}
+	return loss / (2 * n), tensor.Scale(diff, 1/n)
+}
+
+// Model is anything trainable with the forward/backward/params contract
+// (moe.MOELayer and transformer.Block both satisfy it via small adapters).
+type Model interface {
+	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, func(dy *tensor.Tensor) error, error)
+	Params() []*moe.Param
+	ZeroGrad()
+}
+
+// MoEModel adapts a moe.MOELayer to the Model contract.
+type MoEModel struct{ Layer *moe.MOELayer }
+
+// Forward implements Model.
+func (m MoEModel) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, func(*tensor.Tensor) error, error) {
+	y, cache, err := m.Layer.Forward(x, train)
+	if err != nil {
+		return nil, nil, err
+	}
+	return y, func(dy *tensor.Tensor) error {
+		_, err := m.Layer.Backward(cache, dy)
+		return err
+	}, nil
+}
+
+// Params implements Model.
+func (m MoEModel) Params() []*moe.Param { return m.Layer.Params() }
+
+// ZeroGrad implements Model.
+func (m MoEModel) ZeroGrad() { m.Layer.ZeroGrad() }
+
+// Result summarizes a training run.
+type Result struct {
+	Losses []float64
+}
+
+// First and Last return the initial and final loss.
+func (r *Result) First() float64 { return r.Losses[0] }
+
+// Last returns the final loss.
+func (r *Result) Last() float64 { return r.Losses[len(r.Losses)-1] }
+
+// Fit runs steps full-batch optimization steps of model on (x, target)
+// under opt, recording the loss per step.
+func Fit(model Model, opt Optimizer, x, target *tensor.Tensor, steps int) (*Result, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("train: steps must be positive")
+	}
+	res := &Result{}
+	for s := 0; s < steps; s++ {
+		model.ZeroGrad()
+		y, backward, err := model.Forward(x, true)
+		if err != nil {
+			return nil, err
+		}
+		loss, dy := MSELoss(y, target)
+		res.Losses = append(res.Losses, loss)
+		if err := backward(dy); err != nil {
+			return nil, err
+		}
+		opt.Step(model.Params())
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+// Package trainsim simulates end-to-end training iterations of whole MoE
+// models under each scheduling system — the machinery behind Figs. 6–8 and
+// Table 6.
+//
+// Without pipeline parallelism an iteration is one pass over all layers
+// (core.SimulateIteration). With PP enabled, iterations follow GPipe
+// (§6.4): m microbatches flow through s stages, the steady-state cost is
+// (m + s − 1) stage-slots of forward+backward work, and gradients
+// synchronize once, overlapping only with the final microbatch's backward
+// — which is modelled by pricing one microbatch with the full gradient
+// volume attached and the remaining m+s−2 slots without it.
+package trainsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Result is one simulated configuration × system.
+type Result struct {
+	System  core.System
+	TimeMS  float64
+	Degrees *core.IterationResult
+}
+
+// Iteration simulates one non-PP training iteration of the model.
+func Iteration(m core.Models, spec workload.ModelSpec, s *topology.Scenario, sys core.System, opt core.BuildOptions) (*Result, error) {
+	layers := spec.LayerSpecs(s)
+	res, err := m.SimulateIteration(layers, sys, opt)
+	if err != nil {
+		return nil, fmt.Errorf("trainsim: %s on %s: %w", sys, spec.Name, err)
+	}
+	return &Result{System: sys, TimeMS: res.Total, Degrees: res}, nil
+}
+
+// IterationPP simulates one GPipe iteration with npp stages and the given
+// microbatch count (the paper enables N_PP = 2; GPipe convention is
+// m ≥ 4·s microbatches).
+func IterationPP(m core.Models, spec workload.ModelSpec, s *topology.Scenario, sys core.System, npp, microbatches int, opt core.BuildOptions) (*Result, error) {
+	stages, err := spec.StageSpecs(s, npp, microbatches)
+	if err != nil {
+		return nil, err
+	}
+	// The pipeline clock is set by the slowest stage.
+	slotNoGar := 0.0   // one microbatch, gradient sync invisible
+	slotWithGar := 0.0 // final microbatch, carrying the iteration's sync
+	for _, stage := range stages {
+		bare := make([]core.LayerSpec, len(stage))
+		for i, l := range stage {
+			bare[i] = l
+			bare[i].V.GradBytes = 0
+		}
+		resBare, err := m.SimulateIteration(bare, sys, opt)
+		if err != nil {
+			return nil, err
+		}
+		if resBare.Total > slotNoGar {
+			slotNoGar = resBare.Total
+		}
+		resFull, err := m.SimulateIteration(stage, sys, opt)
+		if err != nil {
+			return nil, err
+		}
+		if resFull.Total > slotWithGar {
+			slotWithGar = resFull.Total
+		}
+	}
+	total := float64(microbatches+npp-2)*slotNoGar + slotWithGar
+	return &Result{System: sys, TimeMS: total}, nil
+}
+
+// Compare runs every system on the model and returns times keyed by
+// system, plus speedups over the reference system (DS-MoE in Figs. 6–8).
+func Compare(m core.Models, spec workload.ModelSpec, s *topology.Scenario, opt core.BuildOptions) (map[core.System]float64, error) {
+	out := make(map[core.System]float64, len(core.AllSystems()))
+	for _, sys := range core.AllSystems() {
+		r, err := Iteration(m, spec, s, sys, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[sys] = r.TimeMS
+	}
+	return out, nil
+}
+
+// ComparePP is Compare with pipeline parallelism enabled.
+func ComparePP(m core.Models, spec workload.ModelSpec, s *topology.Scenario, npp, microbatches int, opt core.BuildOptions) (map[core.System]float64, error) {
+	out := make(map[core.System]float64, len(core.AllSystems()))
+	for _, sys := range core.AllSystems() {
+		r, err := IterationPP(m, spec, s, sys, npp, microbatches, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[sys] = r.TimeMS
+	}
+	return out, nil
+}
+
+// Speedups converts absolute times into ratios over a baseline system.
+func Speedups(times map[core.System]float64, base core.System) map[core.System]float64 {
+	out := make(map[core.System]float64, len(times))
+	ref := times[base]
+	for sys, t := range times {
+		if t > 0 {
+			out[sys] = ref / t
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package trainsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func setupA(t *testing.T) (core.Models, *topology.Scenario) {
+	t.Helper()
+	s, err := topology.CanonicalScenario(topology.TestbedA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.ModelsFromCluster(s.Cluster), s
+}
+
+func TestIterationSmoke(t *testing.T) {
+	m, s := setupA(t)
+	spec := workload.GPT2XLMoE(s.Cluster)
+	for _, sys := range core.AllSystems() {
+		r, err := Iteration(m, spec, s, sys, core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TimeMS <= 0 {
+			t.Fatalf("%s: non-positive iteration time", sys)
+		}
+	}
+}
+
+// TestFig6Ordering: FSMoE must beat Tutel, which must beat DS-MoE, on the
+// real-model workloads (the Fig. 6 ranking).
+func TestFig6Ordering(t *testing.T) {
+	m, s := setupA(t)
+	for _, spec := range []workload.ModelSpec{
+		workload.GPT2XLMoE(s.Cluster),
+		workload.Mixtral7B(s.Cluster),
+	} {
+		times, err := Compare(m, spec, s, core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(times[core.SystemFSMoE] < times[core.SystemTutel]) {
+			t.Errorf("%s: FSMoE %.1f not faster than Tutel %.1f", spec.Name,
+				times[core.SystemFSMoE], times[core.SystemTutel])
+		}
+		if !(times[core.SystemTutel] < times[core.SystemDSMoE]) {
+			t.Errorf("%s: Tutel %.1f not faster than DS-MoE %.1f", spec.Name,
+				times[core.SystemTutel], times[core.SystemDSMoE])
+		}
+		sp := Speedups(times, core.SystemDSMoE)
+		if sp[core.SystemFSMoE] < 1.15 {
+			t.Errorf("%s: FSMoE speedup over DS-MoE %.2f below the paper's 1.19 floor",
+				spec.Name, sp[core.SystemFSMoE])
+		}
+	}
+}
+
+func TestSpeedupsMath(t *testing.T) {
+	times := map[core.System]float64{core.SystemDSMoE: 100, core.SystemFSMoE: 50}
+	sp := Speedups(times, core.SystemDSMoE)
+	if sp[core.SystemFSMoE] != 2.0 || sp[core.SystemDSMoE] != 1.0 {
+		t.Fatalf("speedups = %v", sp)
+	}
+}
+
+func TestIterationPP(t *testing.T) {
+	m, s := setupA(t)
+	spec := workload.Mixtral7B(s.Cluster)
+	noPP, err := Iteration(m, spec, s, core.SystemFSMoE, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := IterationPP(m, spec, s, core.SystemFSMoE, 2, 8, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.TimeMS <= 0 {
+		t.Fatal("PP time must be positive")
+	}
+	// GPipe with 2 stages and 8 microbatches has a (m+s-1)/m = 9/8 bubble
+	// over half-depth stages; the result must be within sane bounds of the
+	// non-PP iteration (not 10× off in either direction).
+	if pp.TimeMS > noPP.TimeMS*3 || pp.TimeMS < noPP.TimeMS/3 {
+		t.Fatalf("PP time %.1f implausible vs non-PP %.1f", pp.TimeMS, noPP.TimeMS)
+	}
+	if _, err := IterationPP(m, spec, s, core.SystemFSMoE, 0, 8, core.BuildOptions{}); err == nil {
+		t.Fatal("NPP=0 must error")
+	}
+}
+
+// TestFig8OrderingWithPP: the system ranking must survive PP (Fig. 8).
+func TestFig8OrderingWithPP(t *testing.T) {
+	m, s := setupA(t)
+	spec := workload.Mixtral7B(s.Cluster)
+	times, err := ComparePP(m, spec, s, 2, 8, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(times[core.SystemFSMoE] < times[core.SystemTutel] && times[core.SystemTutel] < times[core.SystemDSMoE]) {
+		t.Fatalf("PP ordering broken: %v", times)
+	}
+}
+
+// TestFig7GapWidensWithL: the DS-MoE gap must grow with sequence length,
+// the Fig. 7 trend.
+func TestFig7GapWidensWithL(t *testing.T) {
+	m, s := setupA(t)
+	base := workload.Mixtral7B(s.Cluster)
+	var prev float64
+	for i, l := range []int{512, 1024, 2048} {
+		times, err := Compare(m, base.WithSeqLen(l), s, core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := Speedups(times, core.SystemDSMoE)[core.SystemFSMoE]
+		if i > 0 && sp < prev*0.97 {
+			t.Fatalf("speedup shrank with L: %.2f after %.2f", sp, prev)
+		}
+		prev = sp
+	}
+}

@@ -1,0 +1,146 @@
+// Package transformer assembles the paper's full generalized layer
+// (Fig. 1): pre-norm multi-head attention followed by a pre-norm MoE
+// block, both with residual connections — the structure every model in §6
+// trains. All paths have exact manual backward passes.
+package transformer
+
+import (
+	"fmt"
+
+	"repro/internal/attention"
+	"repro/internal/moe"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// BlockConfig assembles one transformer-MoE block.
+type BlockConfig struct {
+	M      int  // embedding size
+	Heads  int  // attention heads
+	Causal bool // causal (decoder) masking
+	MoE    moe.LayerConfig
+}
+
+// Block is one attention+MoE layer:
+//
+//	h = x + Attn(LN1(x))
+//	y = h + MoE(LN2(h))
+type Block struct {
+	m    int
+	ln1  *attention.LayerNorm
+	attn *attention.MultiHead
+	ln2  *attention.LayerNorm
+	moe  *moe.MOELayer
+}
+
+// BlockCache carries every sub-module cache for Backward.
+type BlockCache struct {
+	ln1C  *attention.LNCache
+	attnC *attention.Cache
+	ln2C  *attention.LNCache
+	moeC  *moe.LayerCache
+}
+
+// NewBlock builds the block; the MoE config's M must match.
+func NewBlock(cfg BlockConfig, rng *xrand.RNG) (*Block, error) {
+	if cfg.MoE.M != cfg.M {
+		return nil, fmt.Errorf("transformer: MoE embedding %d != block embedding %d", cfg.MoE.M, cfg.M)
+	}
+	attn, err := attention.NewMultiHead(cfg.M, cfg.Heads, cfg.Causal, rng)
+	if err != nil {
+		return nil, err
+	}
+	moeLayer, err := moe.NewMOELayer(cfg.MoE)
+	if err != nil {
+		return nil, err
+	}
+	return &Block{
+		m:    cfg.M,
+		ln1:  attention.NewLayerNorm(cfg.M),
+		attn: attn,
+		ln2:  attention.NewLayerNorm(cfg.M),
+		moe:  moeLayer,
+	}, nil
+}
+
+// MoE exposes the inner MoE layer.
+func (b *Block) MoE() *moe.MOELayer { return b.moe }
+
+// Params returns every trainable parameter of the block. The two
+// parameter vocabularies (attention.Param and moe.Param) are unified into
+// moe.Param values sharing storage.
+func (b *Block) Params() []*moe.Param {
+	var out []*moe.Param
+	add := func(ps []*attention.Param) {
+		for _, p := range ps {
+			out = append(out, &moe.Param{Name: p.Name, W: p.W, G: p.G})
+		}
+	}
+	add(b.ln1.Params())
+	add(b.attn.Params())
+	add(b.ln2.Params())
+	out = append(out, b.moe.Params()...)
+	return out
+}
+
+// ZeroGrad clears every gradient in the block.
+func (b *Block) ZeroGrad() {
+	b.ln1.ZeroGrad()
+	b.attn.ZeroGrad()
+	b.ln2.ZeroGrad()
+	b.moe.ZeroGrad()
+}
+
+// Forward runs the block on x (B, L, M).
+func (b *Block) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *BlockCache, error) {
+	if x.Rank() != 3 || x.Dim(2) != b.m {
+		return nil, nil, fmt.Errorf("transformer: input must be (B, L, %d), got %v", b.m, x.Shape())
+	}
+	cache := &BlockCache{}
+	n1, c1, err := b.ln1.Forward(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache.ln1C = c1
+	a, ca, err := b.attn.Forward(n1)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache.attnC = ca
+	h := tensor.Add(x, a)
+	n2, c2, err := b.ln2.Forward(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache.ln2C = c2
+	mo, cm, err := b.moe.Forward(n2, train)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache.moeC = cm
+	return tensor.Add(h, mo), cache, nil
+}
+
+// Backward propagates dy (B, L, M) through the block and returns dx.
+func (b *Block) Backward(cache *BlockCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	// y = h + MoE(LN2(h)); dh = dy + LN2ᵀ(MoEᵀ(dy)).
+	dMoEOut, err := b.moe.Backward(cache.moeC, dy)
+	if err != nil {
+		return nil, err
+	}
+	dN2, err := b.ln2.Backward(cache.ln2C, dMoEOut)
+	if err != nil {
+		return nil, err
+	}
+	dh := tensor.Add(dy, dN2)
+	// h = x + Attn(LN1(x)); dx = dh + LN1ᵀ(Attnᵀ(dh)).
+	dAttnOut, err := b.attn.Backward(cache.attnC, dh)
+	if err != nil {
+		return nil, err
+	}
+	dN1, err := b.ln1.Backward(cache.ln1C, dAttnOut)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Add(dh, dN1), nil
+}

@@ -1,0 +1,153 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/moe"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+func testBlock(t *testing.T, rng *xrand.RNG) *Block {
+	t.Helper()
+	const m = 8
+	gate, err := moe.NewGShardGate(moe.GateConfig{Experts: 4, TopK: 2, Factor: 0}, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experts := make([]moe.Expert, 4)
+	for i := range experts {
+		e, err := moe.NewGPTFFN(m, 16, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		experts[i] = e
+	}
+	b, err := NewBlock(BlockConfig{
+		M: m, Heads: 2, Causal: true,
+		MoE: moe.LayerConfig{M: m, Gate: gate, Order: moe.TutelOrder{}, Experts: experts},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBlockForwardShape(t *testing.T) {
+	rng := xrand.New(1)
+	b := testBlock(t, rng)
+	x := tensor.RandN(rng, 1, 2, 5, 8)
+	y, _, err := b.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != 2 || y.Dim(1) != 5 || y.Dim(2) != 8 {
+		t.Fatalf("shape %v", y.Shape())
+	}
+}
+
+func TestBlockValidation(t *testing.T) {
+	rng := xrand.New(2)
+	gate, _ := moe.NewSigmoidGate(moe.GateConfig{Experts: 2, TopK: 1}, 4, rng)
+	e, _ := moe.NewGPTFFN(4, 8, rng)
+	if _, err := NewBlock(BlockConfig{
+		M: 8, Heads: 2,
+		MoE: moe.LayerConfig{M: 4, Gate: gate, Order: moe.TutelOrder{}, Experts: []moe.Expert{e, e}},
+	}, rng); err == nil {
+		t.Fatal("embedding mismatch accepted")
+	}
+	b := testBlock(t, rng)
+	if _, _, err := b.Forward(tensor.New(3, 8), false); err == nil {
+		t.Fatal("rank-2 input accepted")
+	}
+}
+
+// TestBlockGradients verifies the full residual+LN+attention+MoE chain
+// end to end against central differences.
+func TestBlockGradients(t *testing.T) {
+	rng := xrand.New(3)
+	b := testBlock(t, rng)
+	rx := xrand.New(4)
+	x := tensor.RandN(rx, 1, 2, 4, 8)
+	r := tensor.RandN(rx, 1, 2, 4, 8)
+
+	loss := func(xx *tensor.Tensor) float64 {
+		y, _, err := b.Forward(xx, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tensor.Sum(tensor.Mul(y, r))
+	}
+	b.ZeroGrad()
+	_, cache, err := b.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, err := b.Backward(cache, r.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	for i := 0; i < x.Size(); i += 5 {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		up := loss(x)
+		x.Data()[i] = orig - eps
+		down := loss(x)
+		x.Data()[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-dx.Data()[i]) > 2e-4*(1+math.Abs(num)) {
+			t.Fatalf("input grad[%d]: numeric %v vs analytic %v", i, num, dx.Data()[i])
+		}
+	}
+	for _, p := range b.Params() {
+		stride := p.W.Size()/3 + 1
+		for i := 0; i < p.W.Size(); i += stride {
+			orig := p.W.Data()[i]
+			p.W.Data()[i] = orig + eps
+			up := loss(x)
+			p.W.Data()[i] = orig - eps
+			down := loss(x)
+			p.W.Data()[i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-p.G.Data()[i]) > 2e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s grad[%d]: numeric %v vs analytic %v", p.Name, i, num, p.G.Data()[i])
+			}
+		}
+	}
+}
+
+func TestBlockParamsCoverAllModules(t *testing.T) {
+	rng := xrand.New(5)
+	b := testBlock(t, rng)
+	names := map[string]bool{}
+	for _, p := range b.Params() {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"ln.gamma", "attn.wq", "attn.wo", "gshard.wg", "ffn.w1"} {
+		if !names[want] {
+			t.Fatalf("missing param family %q in %v", want, names)
+		}
+	}
+}
+
+func TestResidualPathIdentityAtZeroWeights(t *testing.T) {
+	// Zeroing the attention output projection and the experts' second
+	// matrices turns the block into the identity function.
+	rng := xrand.New(6)
+	b := testBlock(t, rng)
+	for _, p := range b.Params() {
+		if p.Name == "attn.wo" || p.Name == "ffn.w2" || p.Name == "ffn.b2" {
+			p.W.Zero()
+		}
+	}
+	x := tensor.RandN(rng, 1, 1, 4, 8)
+	y, _, err := b.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.AllClose(x, 1e-12) {
+		t.Fatalf("block should be identity, max diff %v", y.MaxAbsDiff(x))
+	}
+}

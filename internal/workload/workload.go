@@ -1,0 +1,216 @@
+// Package workload turns paper-level experiment descriptions — the Table 4
+// configuration grid and the real-world models of §6.4 — into the
+// per-layer volumes the scheduler consumes.
+//
+// All volume formulas follow §2: per GPU, with B samples of L tokens and
+// embedding M, a top-k gate with capacity factor f dispatches up to
+// k·f·B·L tokens of M half-precision elements through each AlltoAll, the
+// ESP collectives move the (N_ESP−1)/N_ESP share of that among the node's
+// GPUs, and each expert shard computes its 1/N_ESP slice of the FFN GEMMs.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Bytes per activation element (fp16 activations, as the testbeds train).
+const ActivationBytes = 2
+
+// Bytes per gradient element synchronized by Gradient-AllReduce (fp16
+// gradients, DeepSpeed-style).
+const GradientBytes = 2
+
+// ExpertComputeFactor scales ideal expert GEMM MACs to account for
+// capacity padding and the poor GEMM efficiency of many small per-expert
+// matrices, calibrated against the Experts rows of Table 2 (~4× the naive
+// MAC count on both testbeds).
+const ExpertComputeFactor = 4.0
+
+// AttnComputeFactor scales ideal attention MACs for softmax, layernorm,
+// dropout and small-GEMM overheads, calibrated against the Attention rows
+// of Table 2.
+const AttnComputeFactor = 5.0
+
+// FFNType selects the expert architecture (Table 4's ffn-type).
+type FFNType string
+
+// Expert types.
+const (
+	FFNSimple  FFNType = "simple"  // two dense layers (GPT-style)
+	FFNMixtral FFNType = "mixtral" // SwiGLU, three matrices
+)
+
+// GEMMs returns the GEMM count of one expert forward pass.
+func (f FFNType) GEMMs() int {
+	if f == FFNMixtral {
+		return 3
+	}
+	return 2
+}
+
+// GateKind selects the routing function, which changes the gate's compute
+// footprint (Table 6 sweeps these on GPT2-XL).
+type GateKind string
+
+// Gate kinds, matching internal/moe's implementations.
+const (
+	GateGShard  GateKind = "gshard"
+	GateSigmoid GateKind = "sigmoid"
+	GateXMoE    GateKind = "xmoe"
+	GateEC      GateKind = "ec"
+	GateSoftMoE GateKind = "softmoe"
+)
+
+// RoutingMACs returns the gate's per-token score-computation cost for
+// embedding m and e experts: GShard evaluates two projections (W_g and
+// W_noise), Sigmoid and EC one, X-MoE a low-rank projection of rank m/8
+// followed by cosine scoring (by far the heaviest — the Table 6 ordering),
+// and SoftMoE scores every slot.
+func (g GateKind) RoutingMACs(m, e int) float64 {
+	mf, ef := float64(m), float64(e)
+	switch g {
+	case GateSigmoid, GateEC:
+		return mf * ef
+	case GateXMoE:
+		low := mf / 8
+		return mf*low + low*ef
+	case GateSoftMoE:
+		return mf * ef * 2 // e·slots columns with a couple of slots each
+	default: // GShard
+		return 2 * mf * ef
+	}
+}
+
+// LaunchMS is the per-layer fixed cost of the gate's eager-mode kernel
+// sequence (top-k, masking, normalization, cumsum — each a separate small
+// kernel launch). This constant, not the MAC count, is what separates the
+// gatings in Table 6: EC runs the fewest ops, X-MoE by far the most
+// (projection, two normalizations, cosine, temperature softmax).
+func (g GateKind) LaunchMS() float64 {
+	switch g {
+	case GateEC:
+		return 0.7
+	case GateSigmoid:
+		return 1.15
+	case GateXMoE:
+		return 2.1
+	case GateSoftMoE:
+		return 1.3
+	default: // GShard
+		return 1.0
+	}
+}
+
+// Config is one attention+MoE layer configuration (Table 4 vocabulary).
+type Config struct {
+	B       int     // samples per GPU
+	L       int     // tokens per sample
+	M       int     // embedding size
+	NHScale int     // H = NHScale · M
+	NHeads  int     // attention heads
+	K       int     // top-k experts per token
+	F       float64 // capacity factor; 0 encodes f=∗ (no drop)
+	FFN     FFNType
+	Gate    GateKind // empty selects GShard
+}
+
+// H returns the expert hidden size.
+func (c Config) H() int { return c.NHScale * c.M }
+
+// String is a compact identifier for reports.
+func (c Config) String() string {
+	f := "∗"
+	if c.F > 0 {
+		f = fmt.Sprintf("%.1f", c.F)
+	}
+	return fmt.Sprintf("B%d-L%d-M%d-hs%d-nh%d-f%s-%s", c.B, c.L, c.M, c.NHScale, c.NHeads, f, c.FFN)
+}
+
+// Grid generates the full Table 4 sweep for a testbed: 3·3·3·3·3·3·2 = 1458
+// configurations. L candidates depend on the testbed (§6.1): {512, 1024,
+// 2048} on Testbed A, {256, 512, 1024} on Testbed B.
+func Grid(c *topology.Cluster) []Config {
+	ls := []int{512, 1024, 2048}
+	if c.Name == "B" || c.GPUsPerNode == 4 {
+		ls = []int{256, 512, 1024}
+	}
+	var out []Config
+	for _, b := range []int{1, 2, 4} {
+		for _, nh := range []int{8, 16, 32} {
+			for _, l := range ls {
+				for _, m := range []int{1024, 2048, 4096} {
+					for _, hs := range []int{2, 3, 4} {
+						for _, f := range []float64{1.2, 2.4, 0} { // 0 = f=∗
+							for _, ffn := range []FFNType{FFNSimple, FFNMixtral} {
+								out = append(out, Config{
+									B: b, L: l, M: m, NHScale: hs, NHeads: nh,
+									K: 2, F: f, FFN: ffn,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// VolumesFor derives a generalized layer's scheduling volumes from a
+// configuration on a scenario (the canonical §4 layout).
+func VolumesFor(cfg Config, s *topology.Scenario) core.Volumes {
+	m := core.ModelsFromCluster(s.Cluster)
+	tokens := float64(cfg.B * cfg.L)
+	effF := cfg.F
+	if effF <= 0 {
+		// f=∗ drops nothing; a balanced gate realizes ≈ the nominal load.
+		effF = 1.0
+	}
+	dispatched := float64(cfg.K) * effF * tokens // tokens crossing the A2A
+	nA2A := dispatched * float64(cfg.M) * ActivationBytes
+	// ESP-AllGather must replicate onto each shard the tokens that every
+	// other ESP rank received through its own AlltoAll rail: (N_ESP−1)
+	// times one rail's volume (this is what Table 2's AG/RS rows measure).
+	nESP := nA2A * float64(s.NESP-1)
+
+	// Expert compute: each shard computes its 1/N_ESP slice of the FFN.
+	gemms := cfg.FFN.GEMMs()
+	expMACs := float64(gemms) * dispatched * float64(cfg.M) * float64(cfg.H()) /
+		float64(s.NESP) * ExpertComputeFactor
+
+	// Dense part ("Others"): attention + MP collectives + gate + order.
+	attnMACs := (4*tokens*float64(cfg.M)*float64(cfg.M) +
+		2*float64(cfg.B)*float64(cfg.L)*float64(cfg.L)*float64(cfg.M)) /
+		float64(s.NMP) * AttnComputeFactor
+	attnFwd := m.GEMM.Time(attnMACs)
+	mpBytes := tokens * float64(cfg.M) * ActivationBytes * float64(s.NMP-1) / float64(s.NMP)
+	mpComm := m.RS.Time(mpBytes) + m.AG.Time(mpBytes)
+	gate := cfg.Gate
+	if gate == "" {
+		gate = GateGShard
+	}
+	gateMACs := tokens * gate.RoutingMACs(cfg.M, s.NEP)
+	routing := m.GEMM.Time(gateMACs) + gate.LaunchMS()
+	order := nA2A * 2e-8 // layout shuffle at ~50 GB/s on-device copy
+	denseFwd := attnFwd + mpComm + routing + order
+	denseBwd := 2*attnFwd + mpComm + routing + order
+
+	// Gradients: expert shard + attention shard, synchronized across DP.
+	expParams := float64(gemms) * float64(cfg.M) * float64(cfg.H()) / float64(s.NESP)
+	attnParams := 4 * float64(cfg.M) * float64(cfg.M) / float64(s.NMP)
+	gradBytes := (expParams + attnParams) * GradientBytes
+
+	return core.Volumes{
+		NA2A:      nA2A,
+		NAG:       nESP,
+		NRS:       nESP,
+		ExpMACs:   expMACs,
+		ExpGEMMs:  gemms,
+		DenseFwd:  denseFwd,
+		DenseBwd:  denseBwd,
+		GradBytes: gradBytes,
+	}
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func scenarioA(t *testing.T) *topology.Scenario {
+	t.Helper()
+	s, err := topology.CanonicalScenario(topology.TestbedA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func scenarioB(t *testing.T) *topology.Scenario {
+	t.Helper()
+	s, err := topology.CanonicalScenario(topology.TestbedB(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGridSize(t *testing.T) {
+	// Table 4: 3 B × 3 heads × 3 L × 3 M × 3 hscale × 3 f × 2 ffn = 1458.
+	for _, c := range []*topology.Cluster{topology.TestbedA(), topology.TestbedB()} {
+		g := Grid(c)
+		if len(g) != 1458 {
+			t.Fatalf("%s: grid has %d configs, want 1458", c.Name, len(g))
+		}
+	}
+}
+
+func TestGridUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, cfg := range Grid(topology.TestbedA()) {
+		key := cfg.String()
+		if seen[key] {
+			t.Fatalf("duplicate config %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGridSeqLensPerTestbed(t *testing.T) {
+	for _, cfg := range Grid(topology.TestbedA()) {
+		if cfg.L != 512 && cfg.L != 1024 && cfg.L != 2048 {
+			t.Fatalf("Testbed A grid has L=%d", cfg.L)
+		}
+	}
+	for _, cfg := range Grid(topology.TestbedB()) {
+		if cfg.L != 256 && cfg.L != 512 && cfg.L != 1024 {
+			t.Fatalf("Testbed B grid has L=%d", cfg.L)
+		}
+	}
+}
+
+func TestVolumesForSanity(t *testing.T) {
+	s := scenarioA(t)
+	cfg := Config{B: 4, L: 1024, M: 1600, NHScale: 4, NHeads: 25, K: 2, F: 1.2, FFN: FFNSimple}
+	v := VolumesFor(cfg, s)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A2A volume = k·f·B·L·M·2 bytes ≈ 31.5 MB (the Table 2 calibration).
+	want := 2.0 * 1.2 * 4 * 1024 * 1600 * 2
+	if v.NA2A != want {
+		t.Fatalf("NA2A = %v, want %v", v.NA2A, want)
+	}
+	if v.NAG != v.NRS {
+		t.Fatal("ESP collectives must be symmetric")
+	}
+	if v.NAG != v.NA2A*float64(s.NESP-1) {
+		t.Fatalf("ESP volume should be (NESP-1)× one rail: got %v for NA2A=%v", v.NAG, v.NA2A)
+	}
+	if v.DenseFwd <= 0 || v.DenseBwd <= v.DenseFwd {
+		t.Fatalf("dense durations: fwd=%v bwd=%v", v.DenseFwd, v.DenseBwd)
+	}
+	if v.GradBytes <= 0 {
+		t.Fatal("gradient bytes must be positive")
+	}
+}
+
+// TestTable2Shape checks the headline calibration claim: on both testbeds,
+// communication time of a GPT2-XL layer exceeds 50% of the sequential
+// iteration time (Table 2's motivation), and AlltoAll is a leading term.
+func TestTable2Shape(t *testing.T) {
+	for _, tb := range []struct {
+		s *topology.Scenario
+	}{{scenarioA(t)}, {scenarioB(t)}} {
+		s := tb.s
+		m := core.ModelsFromCluster(s.Cluster)
+		cfg := Config{B: 4, L: 1024, M: 1600, NHScale: 4, NHeads: 25, K: 2, F: 1.2, FFN: FFNSimple}
+		v := VolumesFor(cfg, s)
+		res, err := m.SimulateSingleLayer(v, core.SystemDSMoE, core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd := res.Trace.Breakdown()
+		comm := bd[core.KindA2A] + bd[core.KindAG] + bd[core.KindRS] + bd[core.KindAR]
+		if comm < 0.5*res.Total {
+			t.Errorf("testbed %s: communication is %.0f%% of the layer, paper reports >50%%",
+				s.Cluster.Name, 100*comm/res.Total)
+		}
+		if bd[core.KindA2A] <= 0 {
+			t.Error("AlltoAll missing from breakdown")
+		}
+	}
+}
+
+func TestModelPresets(t *testing.T) {
+	a := topology.TestbedA()
+	b := topology.TestbedB()
+	if GPT2XLMoE(a).Layer.L != 1024 || GPT2XLMoE(b).Layer.L != 256 {
+		t.Fatal("GPT2-XL sequence lengths per testbed wrong")
+	}
+	if Mixtral7B(b).Layers != 7 {
+		t.Fatalf("Mixtral-7B on B should have 7 layers, got %d", Mixtral7B(b).Layers)
+	}
+	if Mixtral7B(a).Layers != 32 {
+		t.Fatalf("Mixtral-7B on A should have 32 layers, got %d", Mixtral7B(a).Layers)
+	}
+	if Mixtral22B(a).Layers != 33 {
+		t.Fatal("Mixtral-22B should have 33 layers")
+	}
+	if Mixtral7B(a).Layer.FFN.GEMMs() != 3 {
+		t.Fatal("Mixtral experts are SwiGLU (3 GEMMs)")
+	}
+}
+
+func TestLayerSpecs(t *testing.T) {
+	s := scenarioA(t)
+	spec := GPT2XLMoE(s.Cluster)
+	layers := spec.LayerSpecs(s)
+	if len(layers) != spec.Layers {
+		t.Fatalf("got %d layers", len(layers))
+	}
+	for _, l := range layers {
+		if err := l.V.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStageSpecs(t *testing.T) {
+	s := scenarioA(t)
+	spec := Mixtral22B(s.Cluster) // 33 layers
+	stages, err := spec.StageSpecs(s, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages", len(stages))
+	}
+	if len(stages[0])+len(stages[1]) != 33 {
+		t.Fatalf("stages cover %d layers", len(stages[0])+len(stages[1]))
+	}
+	// Microbatch scaling: activations 1/8, gradients untouched.
+	full := VolumesFor(spec.Layer, s)
+	mb := stages[0][0].V
+	if mb.NA2A*8 != full.NA2A {
+		t.Fatalf("microbatch NA2A %v, want %v/8", mb.NA2A, full.NA2A)
+	}
+	if mb.GradBytes != full.GradBytes {
+		t.Fatal("gradient bytes must not scale with microbatches")
+	}
+	if _, err := spec.StageSpecs(s, 0, 4); err == nil {
+		t.Fatal("NPP=0 should error")
+	}
+	if _, err := spec.StageSpecs(s, 64, 4); err == nil {
+		t.Fatal("more stages than layers should error")
+	}
+}
+
+func TestWithSeqLen(t *testing.T) {
+	s := Mixtral7B(topology.TestbedA()).WithSeqLen(2048)
+	if s.Layer.L != 2048 {
+		t.Fatal("WithSeqLen did not apply")
+	}
+}
+
+func TestFFNTypeGEMMs(t *testing.T) {
+	if FFNSimple.GEMMs() != 2 || FFNMixtral.GEMMs() != 3 {
+		t.Fatal("GEMM counts wrong")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{B: 1, L: 512, M: 1024, NHScale: 2, NHeads: 8, K: 2, F: 0, FFN: FFNSimple}
+	if got := c.String(); got == "" || got != "B1-L512-M1024-hs2-nh8-f∗-simple" {
+		t.Fatalf("String = %q", got)
+	}
+}
