@@ -20,4 +20,32 @@
 //	cluster := fsmoe.TestbedA()
 //	times, err := fsmoe.CompareSystems(cluster, fsmoe.Mixtral7B(cluster))
 //	fmt.Println(times[fsmoe.SystemFSMoE], times[fsmoe.SystemDSMoE])
+//
+// # Compute runtime
+//
+// The real tensor path runs on a shared runtime (internal/tensor): experts
+// and attention heads execute concurrently on a lazily-started worker pool
+// sized by SetComputeWorkers, reading and writing their blocks of the
+// (E, T, M) activations through zero-copy views, and transient buffers are
+// recycled through a free-list exposed here as GetTensor/PutTensor.
+// Parallelism never reorders floating-point accumulation — results are
+// bit-identical at any worker count.
+//
+// Ownership rules for pooled buffers: whoever calls GetTensor owns the
+// buffer and must PutTensor it at most once, only after every view of it
+// (Reshape/View/Slice/Row all alias the same backing array) is dead. After
+// Put, the array may be handed to an unrelated GetTensor, so a stale view
+// — or a second PutTensor of the same tensor — silently corrupts someone
+// else's data. PutTensor ignores tensors it does not own (NewTensor
+// results, views), so releasing a tensor of unknown origin is safe; "at
+// most once" still binds for pooled ones. Custom Expert implementations may
+// implement the zero-copy fast path (moe.IntoExpert's ForwardInto and
+// BackwardInto); the layer then hands them views of its buffers instead of
+// copying per-expert blocks.
+//
+// Because experts execute concurrently, a custom Expert must not share
+// mutable state (scratch buffers, RNGs, tied Param tensors) with another
+// expert instance in the same layer. Registering the same instance at
+// several indices is detected and runs sequentially; state shared between
+// distinct instances is the implementer's responsibility to synchronize.
 package fsmoe

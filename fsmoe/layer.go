@@ -207,6 +207,24 @@ func (l *Layer) Gate() Gate { return l.inner.Gate() }
 // imports.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
+// GetTensor returns a zero-filled tensor from the shared buffer free-list;
+// PutTensor returns it. The single-owner rule applies: Put a tensor at most
+// once, only if it came from GetTensor, and only when no view of it is
+// still live (see the internal/tensor package docs). Custom experts and
+// hooks use these to keep their transients off the allocator, like the
+// built-in sub-modules do.
+func GetTensor(shape ...int) *Tensor { return tensor.Get(shape...) }
+
+// PutTensor releases a GetTensor buffer back to the free-list, at most once
+// per GetTensor. It is a safe no-op for tensors of any other origin.
+func PutTensor(t *Tensor) { tensor.Put(t) }
+
+// SetComputeWorkers overrides the width of the shared worker pool that
+// parallelizes expert execution, attention heads and large GEMMs; n <= 0
+// restores the default (GOMAXPROCS). Width never changes results: work is
+// sharded so no float accumulation is reordered.
+func SetComputeWorkers(n int) { tensor.SetWorkers(n) }
+
 // RandTensor returns a tensor of standard-normal values.
 func RandTensor(seed uint64, shape ...int) *Tensor {
 	return tensor.RandN(xrand.New(seed), 1, shape...)

@@ -75,10 +75,11 @@ func (a *MultiHead) FwdMACs(b, l int) float64 {
 	return proj + scores
 }
 
-// headSlice views rows of a (B·L, M) tensor for batch bi restricted to
-// head h as an (L, dh) tensor (copied; heads are strided in memory).
+// headSlice gathers rows of a (B·L, M) tensor for batch bi restricted to
+// head h into a pooled (L, dh) tensor (copied; heads are strided in
+// memory). Callers Put the result when done with it.
 func (a *MultiHead) headSlice(t *tensor.Tensor, bi, h, l int) *tensor.Tensor {
-	out := tensor.New(l, a.dh)
+	out := tensor.GetUninit(l, a.dh)
 	for i := 0; i < l; i++ {
 		src := t.Row(bi*l + i)[h*a.dh : (h+1)*a.dh]
 		copy(out.Row(i), src)
@@ -104,21 +105,33 @@ func (a *MultiHead) Forward(x *tensor.Tensor) (*tensor.Tensor, *Cache, error) {
 	v := tensor.MatMul(flat, a.wv.W)
 	ctx := tensor.New(b*l, a.m)
 	cache := &Cache{x: flat, b: b, l: l, q: q, k: k, v: v, ctx: ctx}
+	cache.att = make([]*tensor.Tensor, b*a.heads)
 	scale := 1 / math.Sqrt(float64(a.dh))
-	for bi := 0; bi < b; bi++ {
-		for h := 0; h < a.heads; h++ {
-			qh := a.headSlice(q, bi, h, l)
-			kh := a.headSlice(k, bi, h, l)
-			vh := a.headSlice(v, bi, h, l)
-			scores := tensor.Scale(tensor.MatMulT2(qh, kh), scale) // (L, L)
-			if a.causal {
-				maskCausal(scores)
-			}
-			att := tensor.SoftmaxRows(scores)
-			cache.att = append(cache.att, att)
-			a.headScatter(ctx, tensor.MatMul(att, vh), bi, h, l)
+	// (batch, head) pairs are independent: each writes a disjoint column
+	// stripe of disjoint row blocks of ctx, so they shard over the worker
+	// pool with pooled transients.
+	tensor.ParallelFor(b*a.heads, func(bh int) {
+		bi, h := bh/a.heads, bh%a.heads
+		qh := a.headSlice(q, bi, h, l)
+		kh := a.headSlice(k, bi, h, l)
+		vh := a.headSlice(v, bi, h, l)
+		scores := tensor.GetUninit(l, l)
+		tensor.MatMulT2Into(scores, qh, kh)
+		tensor.ScaleInPlace(scores, scale)
+		if a.causal {
+			maskCausal(scores)
 		}
-	}
+		att := tensor.SoftmaxRows(scores)
+		cache.att[bh] = att
+		ctxh := tensor.GetUninit(l, a.dh)
+		tensor.MatMulInto(ctxh, att, vh)
+		a.headScatter(ctx, ctxh, bi, h, l)
+		tensor.Put(ctxh)
+		tensor.Put(scores)
+		tensor.Put(vh)
+		tensor.Put(kh)
+		tensor.Put(qh)
+	})
 	out := tensor.MatMul(ctx, a.wo.W)
 	return out.Reshape(b, l, a.m), cache, nil
 }
@@ -150,39 +163,47 @@ func (a *MultiHead) Backward(cache *Cache, dy *tensor.Tensor) (*tensor.Tensor, e
 	dk := tensor.New(b*l, a.m)
 	dv := tensor.New(b*l, a.m)
 	scale := 1 / math.Sqrt(float64(a.dh))
-	for bi := 0; bi < b; bi++ {
-		for h := 0; h < a.heads; h++ {
-			att := cache.att[bi*a.heads+h]
-			qh := a.headSlice(cache.q, bi, h, l)
-			kh := a.headSlice(cache.k, bi, h, l)
-			vh := a.headSlice(cache.v, bi, h, l)
-			dctxh := a.headSlice(dctx, bi, h, l)
-			// ctx_h = att @ v_h.
-			dAtt := tensor.MatMulT2(dctxh, vh) // (L, L)
-			dvh := tensor.MatMulT1(att, dctxh) // (L, dh)
-			// att = softmax(scores): row-wise jacobian.
-			dScores := tensor.New(l, l)
-			for i := 0; i < l; i++ {
-				w := att.Row(i)
-				dw := dAtt.Row(i)
-				dot := 0.0
-				for j := range w {
-					dot += w[j] * dw[j]
-				}
-				ds := dScores.Row(i)
-				for j := range w {
-					ds[j] = w[j] * (dw[j] - dot)
-				}
+	tensor.ParallelFor(b*a.heads, func(bh int) {
+		bi, h := bh/a.heads, bh%a.heads
+		att := cache.att[bh]
+		qh := a.headSlice(cache.q, bi, h, l)
+		kh := a.headSlice(cache.k, bi, h, l)
+		vh := a.headSlice(cache.v, bi, h, l)
+		dctxh := a.headSlice(dctx, bi, h, l)
+		// ctx_h = att @ v_h.
+		dAtt := tensor.GetUninit(l, l)
+		tensor.MatMulT2Into(dAtt, dctxh, vh)
+		dvh := tensor.GetUninit(l, a.dh)
+		tensor.MatMulT1Into(dvh, att, dctxh)
+		// att = softmax(scores): row-wise jacobian.
+		dScores := tensor.GetUninit(l, l)
+		for i := 0; i < l; i++ {
+			w := att.Row(i)
+			dw := dAtt.Row(i)
+			dot := 0.0
+			for j := range w {
+				dot += w[j] * dw[j]
 			}
-			// scores = scale · q_h k_hᵀ (masked entries have zero att and
-			// therefore zero dScores — no special handling needed).
-			dqh := tensor.Scale(tensor.MatMul(dScores, kh), scale)
-			dkh := tensor.Scale(tensor.MatMulT1(dScores, qh), scale)
-			a.headScatter(dq, dqh, bi, h, l)
-			a.headScatter(dk, dkh, bi, h, l)
-			a.headScatter(dv, dvh, bi, h, l)
+			ds := dScores.Row(i)
+			for j := range w {
+				ds[j] = w[j] * (dw[j] - dot)
+			}
 		}
-	}
+		// scores = scale · q_h k_hᵀ (masked entries have zero att and
+		// therefore zero dScores — no special handling needed).
+		dqh := tensor.GetUninit(l, a.dh)
+		tensor.MatMulInto(dqh, dScores, kh)
+		tensor.ScaleInPlace(dqh, scale)
+		dkh := tensor.GetUninit(l, a.dh)
+		tensor.MatMulT1Into(dkh, dScores, qh)
+		tensor.ScaleInPlace(dkh, scale)
+		a.headScatter(dq, dqh, bi, h, l)
+		a.headScatter(dk, dkh, bi, h, l)
+		a.headScatter(dv, dvh, bi, h, l)
+		for _, t := range []*tensor.Tensor{dkh, dqh, dScores, dvh, dAtt, dctxh, vh, kh, qh} {
+			tensor.Put(t)
+		}
+	})
 	tensor.AddInPlace(a.wq.G, tensor.MatMulT1(cache.x, dq))
 	tensor.AddInPlace(a.wk.G, tensor.MatMulT1(cache.x, dk))
 	tensor.AddInPlace(a.wv.G, tensor.MatMulT1(cache.x, dv))
@@ -249,9 +270,10 @@ func (ln *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, *LNCache, error)
 		cache.ivar[i] = iv
 		xh := cache.xhat.Row(i)
 		o := out.Row(i)
+		gw, bw := ln.gamma.W.Data(), ln.beta.W.Data()
 		for j, v := range row {
 			xh[j] = (v - mean) * iv
-			o[j] = xh[j]*ln.gamma.W.At(j) + ln.beta.W.At(j)
+			o[j] = xh[j]*gw[j] + bw[j]
 		}
 	}
 	outShaped := out.Reshape(shape...)
@@ -268,6 +290,9 @@ func (ln *LayerNorm) Backward(cache *LNCache, dy *tensor.Tensor) (*tensor.Tensor
 	}
 	dx := tensor.New(cache.rows, ln.m)
 	mf := float64(ln.m)
+	gg, bg, gw := ln.gamma.G.Data(), ln.beta.G.Data(), ln.gamma.W.Data()
+	dxhatT := tensor.GetUninit(ln.m)
+	dxhat := dxhatT.Data()
 	for i := 0; i < cache.rows; i++ {
 		dyRow := dflat.Row(i)
 		xh := cache.xhat.Row(i)
@@ -275,11 +300,10 @@ func (ln *LayerNorm) Backward(cache *LNCache, dy *tensor.Tensor) (*tensor.Tensor
 		// dxhat = dy * gamma; standard layernorm backward:
 		// dx = (1/m)·iv·(m·dxhat − Σdxhat − xhat·Σ(dxhat·xhat)).
 		var sum1, sum2 float64
-		dxhat := make([]float64, ln.m)
 		for j, d := range dyRow {
-			ln.gamma.G.Set(ln.gamma.G.At(j)+d*xh[j], j)
-			ln.beta.G.Set(ln.beta.G.At(j)+d, j)
-			dxhat[j] = d * ln.gamma.W.At(j)
+			gg[j] += d * xh[j]
+			bg[j] += d
+			dxhat[j] = d * gw[j]
 			sum1 += dxhat[j]
 			sum2 += dxhat[j] * xh[j]
 		}
@@ -288,5 +312,6 @@ func (ln *LayerNorm) Backward(cache *LNCache, dy *tensor.Tensor) (*tensor.Tensor
 			dst[j] = iv / mf * (mf*dxhat[j] - sum1 - xh[j]*sum2)
 		}
 	}
+	tensor.Put(dxhatT)
 	return dx.Reshape(shape...), nil
 }

@@ -10,6 +10,15 @@ import (
 // Expert is the compute sub-module of §3.1: a small feed-forward network
 // applied to the (T, M) token block routed to it. Implementations own their
 // parameters and gradient accumulators and provide a manual backward pass.
+//
+// Concurrency contract: MOELayer invokes Forward and Backward on *different*
+// expert instances concurrently (never the same instance twice at once).
+// An implementation therefore must not share mutable state — scratch
+// buffers, RNGs, or Param tensors (e.g. tied weights) — with another
+// expert instance in the same layer unless it synchronizes access. The
+// layer detects the same instance registered at several indices and falls
+// back to sequential execution for that case, but it cannot see state
+// shared between distinct instances.
 type Expert interface {
 	Name() string
 	// Forward evaluates the expert on x (n, M) and returns the output
@@ -31,6 +40,19 @@ type Expert interface {
 
 // ExpertCache is the opaque forward cache an expert hands to its backward.
 type ExpertCache interface{}
+
+// IntoExpert is the zero-copy fast path an Expert may additionally
+// implement. ForwardInto writes the output into out (a view of the layer's
+// (E, T, M) buffer) and BackwardInto writes dX into dx, letting MOELayer
+// skip the per-expert copy round-trips. Implementations may draw transient
+// buffers from tensor.Get and must Put them by the end of BackwardInto;
+// both built-in experts do. Custom experts that only implement Expert keep
+// working through the copying fallback.
+type IntoExpert interface {
+	Expert
+	ForwardInto(x, out *tensor.Tensor) ExpertCache
+	BackwardInto(cache ExpertCache, dy, dx *tensor.Tensor)
+}
 
 // GPTFFN is the "simple" expert of Table 4: two dense layers with a GeLU,
 // y = GeLU(x·W1 + b1)·W2 + b2, as in the GPT-2/GPT-3 feed-forward block.
@@ -75,30 +97,60 @@ func (f *GPTFFN) ParamBytes() float64 {
 
 // Forward implements Expert.
 func (f *GPTFFN) Forward(x *tensor.Tensor) (*tensor.Tensor, ExpertCache) {
-	h := tensor.AddRowVector(tensor.MatMul(x, f.w1.W), f.b1.W)
-	a := tensor.GeLU(h)
-	y := tensor.AddRowVector(tensor.MatMul(a, f.w2.W), f.b2.W)
-	return y, &gptCache{x: x, h: h, a: a}
+	y := tensor.New(x.Dim(0), f.m)
+	c := f.ForwardInto(x, y)
+	return y, c
+}
+
+// ForwardInto implements IntoExpert. The cached h and a are pooled buffers
+// that BackwardInto releases; forward-only callers may leak them to the GC.
+func (f *GPTFFN) ForwardInto(x, out *tensor.Tensor) ExpertCache {
+	n := x.Dim(0)
+	h := tensor.GetUninit(n, f.h)
+	tensor.MatMulInto(h, x, f.w1.W)
+	tensor.AddRowVectorInPlace(h, f.b1.W)
+	a := tensor.GetUninit(n, f.h)
+	tensor.GeLUInto(a, h)
+	tensor.MatMulInto(out, a, f.w2.W)
+	tensor.AddRowVectorInPlace(out, f.b2.W)
+	return &gptCache{x: x, h: h, a: a}
 }
 
 // Backward implements Expert.
 func (f *GPTFFN) Backward(cache ExpertCache, dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dy.Dim(0), f.m)
+	f.BackwardInto(cache, dy, dx)
+	return dx
+}
+
+// BackwardInto implements IntoExpert.
+func (f *GPTFFN) BackwardInto(cache ExpertCache, dy, dx *tensor.Tensor) {
 	c := cache.(*gptCache)
+	n := dy.Dim(0)
 	// y = a·W2 + b2.
-	tensor.AddInPlace(f.w2.G, tensor.MatMulT1(c.a, dy))
+	gw2 := tensor.GetUninit(f.h, f.m)
+	tensor.MatMulT1Into(gw2, c.a, dy)
+	tensor.AddInPlace(f.w2.G, gw2)
+	tensor.Put(gw2)
 	addColSum(f.b2.G, dy)
-	da := tensor.MatMulT2(dy, f.w2.W)
-	// a = GeLU(h).
-	dh := da.Clone()
+	da := tensor.GetUninit(n, f.h)
+	tensor.MatMulT2Into(da, dy, f.w2.W)
+	// a = GeLU(h): fold the activation gradient into da in place.
 	hd := c.h.Data()
-	dd := dh.Data()
+	dd := da.Data()
 	for i := range dd {
 		dd[i] *= tensor.GeLUGrad(hd[i])
 	}
 	// h = x·W1 + b1.
-	tensor.AddInPlace(f.w1.G, tensor.MatMulT1(c.x, dh))
-	addColSum(f.b1.G, dh)
-	return tensor.MatMulT2(dh, f.w1.W)
+	gw1 := tensor.GetUninit(f.m, f.h)
+	tensor.MatMulT1Into(gw1, c.x, da)
+	tensor.AddInPlace(f.w1.G, gw1)
+	tensor.Put(gw1)
+	addColSum(f.b1.G, da)
+	tensor.MatMulT2Into(dx, da, f.w1.W)
+	tensor.Put(da)
+	tensor.Put(c.a)
+	tensor.Put(c.h)
 }
 
 // MixtralFFN is the SwiGLU expert used by Mixtral (§3.1):
@@ -142,42 +194,84 @@ func (f *MixtralFFN) ParamBytes() float64 { return 4 * float64(3*f.m*f.h) }
 
 // Forward implements Expert.
 func (f *MixtralFFN) Forward(x *tensor.Tensor) (*tensor.Tensor, ExpertCache) {
-	g := tensor.MatMul(x, f.w1.W)
-	u := tensor.MatMul(x, f.w3.W)
-	a := tensor.SiLU(g)
-	p := tensor.Mul(a, u)
-	y := tensor.MatMul(p, f.w2.W)
-	return y, &mixtralCache{x: x, g: g, u: u, a: a}
+	y := tensor.New(x.Dim(0), f.m)
+	c := f.ForwardInto(x, y)
+	return y, c
+}
+
+// ForwardInto implements IntoExpert.
+func (f *MixtralFFN) ForwardInto(x, out *tensor.Tensor) ExpertCache {
+	n := x.Dim(0)
+	g := tensor.GetUninit(n, f.h)
+	tensor.MatMulInto(g, x, f.w1.W)
+	u := tensor.GetUninit(n, f.h)
+	tensor.MatMulInto(u, x, f.w3.W)
+	a := tensor.GetUninit(n, f.h)
+	tensor.SiLUInto(a, g)
+	p := tensor.GetUninit(n, f.h)
+	tensor.MulInto(p, a, u)
+	tensor.MatMulInto(out, p, f.w2.W)
+	tensor.Put(p)
+	return &mixtralCache{x: x, g: g, u: u, a: a}
 }
 
 // Backward implements Expert.
 func (f *MixtralFFN) Backward(cache ExpertCache, dy *tensor.Tensor) *tensor.Tensor {
-	c := cache.(*mixtralCache)
-	p := tensor.Mul(c.a, c.u)
-	tensor.AddInPlace(f.w2.G, tensor.MatMulT1(p, dy))
-	dp := tensor.MatMulT2(dy, f.w2.W)
-	da := tensor.Mul(dp, c.u)
-	du := tensor.Mul(dp, c.a)
-	dg := da.Clone()
-	gd := c.g.Data()
-	dd := dg.Data()
-	for i := range dd {
-		dd[i] *= tensor.SiLUGrad(gd[i])
-	}
-	tensor.AddInPlace(f.w1.G, tensor.MatMulT1(c.x, dg))
-	tensor.AddInPlace(f.w3.G, tensor.MatMulT1(c.x, du))
-	dx := tensor.MatMulT2(dg, f.w1.W)
-	tensor.AddInPlace(dx, tensor.MatMulT2(du, f.w3.W))
+	dx := tensor.New(dy.Dim(0), f.m)
+	f.BackwardInto(cache, dy, dx)
 	return dx
 }
 
-// addColSum accumulates the column sums of m (n, d) into acc (d).
+// BackwardInto implements IntoExpert.
+func (f *MixtralFFN) BackwardInto(cache ExpertCache, dy, dx *tensor.Tensor) {
+	c := cache.(*mixtralCache)
+	n := dy.Dim(0)
+	p := tensor.GetUninit(n, f.h)
+	tensor.MulInto(p, c.a, c.u)
+	gw := tensor.GetUninit(f.h, f.m)
+	tensor.MatMulT1Into(gw, p, dy)
+	tensor.AddInPlace(f.w2.G, gw)
+	tensor.Put(gw)
+	dp := p // reuse: p is dead once the W2 gradient is accumulated
+	tensor.MatMulT2Into(dp, dy, f.w2.W)
+	da := tensor.GetUninit(n, f.h)
+	tensor.MulInto(da, dp, c.u)
+	du := tensor.GetUninit(n, f.h)
+	tensor.MulInto(du, dp, c.a)
+	tensor.Put(dp)
+	// a = SiLU(g): fold the activation gradient into da in place.
+	gd := c.g.Data()
+	dd := da.Data()
+	for i := range dd {
+		dd[i] *= tensor.SiLUGrad(gd[i])
+	}
+	gw13 := tensor.GetUninit(f.m, f.h)
+	tensor.MatMulT1Into(gw13, c.x, da)
+	tensor.AddInPlace(f.w1.G, gw13)
+	tensor.MatMulT1Into(gw13, c.x, du)
+	tensor.AddInPlace(f.w3.G, gw13)
+	tensor.Put(gw13)
+	tensor.MatMulT2Into(dx, da, f.w1.W)
+	dxu := tensor.GetUninit(n, f.m)
+	tensor.MatMulT2Into(dxu, du, f.w3.W)
+	tensor.AddInPlace(dx, dxu)
+	tensor.Put(dxu)
+	tensor.Put(da)
+	tensor.Put(du)
+	tensor.Put(c.a)
+	tensor.Put(c.g)
+	tensor.Put(c.u)
+}
+
+// addColSum accumulates the column sums of m (n, d) into acc (d). It works
+// on the raw storage: the variadic At/Set accessors allocate their index
+// slice, which on the per-token bias-gradient path dominated the backward
+// pass's allocation profile.
 func addColSum(acc, m *tensor.Tensor) {
-	d := m.Dim(1)
+	ad := acc.Data()
 	for i := 0; i < m.Dim(0); i++ {
-		row := m.Row(i)
-		for j := 0; j < d; j++ {
-			acc.Set(acc.At(j)+row[j], j)
+		for j, v := range m.Row(i) {
+			ad[j] += v
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package moe
 
 import (
+	"math"
+
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -171,7 +173,7 @@ func (g *GShardGate) Backward(rc *RouteCache, grad *PlanGrad) *tensor.Tensor {
 	n, e := x.Dim(0), g.cfg.Experts
 	// Collect dWeight per (token, selected expert) from the slot grads.
 	dW := slotGradToTokenGrad(rc.Plan, cache.selIdx, grad.SlotWeight, n)
-	dLogits := tensor.New(n, e)
+	dLogits := tensor.Get(n, e) // transient; released below
 	for t := 0; t < n; t++ {
 		dl := maskedSoftmaxBackward(cache.selW[t], dW[t])
 		for j, idx := range cache.selIdx[t] {
@@ -179,17 +181,36 @@ func (g *GShardGate) Backward(rc *RouteCache, grad *PlanGrad) *tensor.Tensor {
 		}
 	}
 	// dWg += xᵀ dLogits ; dx = dLogits Wgᵀ.
-	tensor.AddInPlace(g.wg.G, tensor.MatMulT1(x, dLogits))
+	gw := tensor.GetUninit(g.m, e)
+	tensor.MatMulT1Into(gw, x, dLogits)
+	tensor.AddInPlace(g.wg.G, gw)
 	dx := tensor.MatMulT2(dLogits, g.wg.W)
 	if cache.noise != nil {
 		// Noise path: logits += noise * softplus(x·W_noise).
-		dsp := tensor.Mul(dLogits, cache.noise)
-		dpre := tensor.Mul(dsp, tensor.Sigmoid(cache.spPre)) // softplus' = sigmoid
-		tensor.AddInPlace(g.wnoise.G, tensor.MatMulT1(x, dpre))
-		tensor.AddInPlace(dx, tensor.MatMulT2(dpre, g.wnoise.W))
+		dpre := tensor.GetUninit(n, e)
+		tensor.MulInto(dpre, dLogits, cache.noise)
+		spd := cache.spPre.Data()
+		dd := dpre.Data()
+		for i := range dd {
+			dd[i] *= sigmoidScalar(spd[i]) // softplus' = sigmoid
+		}
+		tensor.MatMulT1Into(gw, x, dpre)
+		tensor.AddInPlace(g.wnoise.G, gw)
+		dxn := tensor.GetUninit(n, g.m)
+		tensor.MatMulT2Into(dxn, dpre, g.wnoise.W)
+		tensor.AddInPlace(dx, dxn)
+		tensor.Put(dxn)
+		tensor.Put(dpre)
 	}
+	tensor.Put(gw)
+	tensor.Put(dLogits)
 	return dx
 }
+
+// sigmoidScalar mirrors tensor.Sigmoid for a single value, letting the
+// noise-path backward fold softplus' in place instead of materializing a
+// sigmoid tensor.
+func sigmoidScalar(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // softmaxVec is a stable softmax over a small dense vector.
 func softmaxVec(v []float64) []float64 {

@@ -2,6 +2,7 @@ package moe
 
 import (
 	"fmt"
+	"reflect"
 
 	"repro/internal/tensor"
 )
@@ -24,6 +25,9 @@ type MOELayer struct {
 	cfg   LayerConfig
 	hooks hookChain
 	disp  Dispatcher
+	// seqExperts disables concurrent expert execution when the expert list
+	// provably or possibly aliases itself (see distinctExperts).
+	seqExperts bool
 }
 
 // LayerCache holds everything Backward needs.
@@ -56,7 +60,44 @@ func NewMOELayer(cfg LayerConfig) (*MOELayer, error) {
 	if d == nil {
 		d = LocalDispatcher{}
 	}
-	return &MOELayer{cfg: cfg, hooks: hookChain(cfg.Hooks), disp: d}, nil
+	return &MOELayer{
+		cfg:        cfg,
+		hooks:      hookChain(cfg.Hooks),
+		disp:       d,
+		seqExperts: !distinctExperts(cfg.Experts),
+	}, nil
+}
+
+// distinctExperts reports whether every expert is a provably distinct
+// instance. Experts of non-comparable dynamic types cannot be told apart,
+// so they count as possibly aliased — the layer then runs them
+// sequentially, preserving the pre-parallelism contract for legacy custom
+// experts (e.g. the same instance registered at several indices for weight
+// tying).
+func distinctExperts(exps []Expert) bool {
+	seen := make(map[Expert]bool, len(exps))
+	for _, e := range exps {
+		if !reflect.TypeOf(e).Comparable() {
+			return false
+		}
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+	}
+	return true
+}
+
+// forEachExpert runs f(e) for every expert, concurrently on the shared
+// worker pool unless the expert list requires sequential execution.
+func (l *MOELayer) forEachExpert(f func(e int)) {
+	if l.seqExperts {
+		for e := 0; e < len(l.cfg.Experts); e++ {
+			f(e)
+		}
+		return
+	}
+	tensor.ParallelFor(len(l.cfg.Experts), f)
 }
 
 // Experts returns the layer's expert list.
@@ -112,16 +153,24 @@ func (l *MOELayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *Layer
 	dispatched := l.disp.Dispatch(scattered)
 	dispatched = l.hooks.afterDispatch(dispatched)
 
+	// Experts run concurrently on the shared worker pool, each reading and
+	// writing its own (T, M) block of the (E, T, M) buffers through
+	// zero-copy views. Blocks are disjoint and each expert's GEMMs
+	// accumulate in a fixed order, so the result is bit-identical to the
+	// sequential loop.
 	expertOut := tensor.New(plan.Experts, plan.Capacity, l.cfg.M)
 	caches := make([]ExpertCache, plan.Experts)
-	for e := 0; e < plan.Experts; e++ {
-		in := tensor.FromData(
-			dispatched.Data()[e*plan.Capacity*l.cfg.M:(e+1)*plan.Capacity*l.cfg.M],
-			plan.Capacity, l.cfg.M)
+	blk := plan.Capacity * l.cfg.M
+	l.forEachExpert(func(e int) {
+		in := dispatched.View(e*blk, plan.Capacity, l.cfg.M)
+		if ie, ok := l.cfg.Experts[e].(IntoExpert); ok {
+			caches[e] = ie.ForwardInto(in, expertOut.View(e*blk, plan.Capacity, l.cfg.M))
+			return
+		}
 		out, c := l.cfg.Experts[e].Forward(in)
 		caches[e] = c
-		copy(expertOut.Data()[e*plan.Capacity*l.cfg.M:(e+1)*plan.Capacity*l.cfg.M], out.Data())
-	}
+		copy(expertOut.Data()[e*blk:(e+1)*blk], out.Data())
+	})
 
 	combinedIn := l.hooks.beforeCombine(expertOut)
 	combined := l.disp.Combine(combinedIn)
@@ -175,15 +224,20 @@ func (l *MOELayer) Backward(cache *LayerCache, dy *tensor.Tensor) (*tensor.Tenso
 	// Through Combine (adjoint of the collective).
 	dExpertOut = l.disp.CombineGrad(dExpertOut)
 
-	// Through each expert.
+	// Through each expert, concurrently; every expert accumulates only its
+	// own parameter gradients and writes its own block of dDispatched, so
+	// the shards never race.
 	dDispatched := tensor.New(plan.Experts, plan.Capacity, l.cfg.M)
-	for e := 0; e < plan.Experts; e++ {
-		dOut := tensor.FromData(
-			dExpertOut.Data()[e*plan.Capacity*l.cfg.M:(e+1)*plan.Capacity*l.cfg.M],
-			plan.Capacity, l.cfg.M)
+	blk := plan.Capacity * l.cfg.M
+	l.forEachExpert(func(e int) {
+		dOut := dExpertOut.View(e*blk, plan.Capacity, l.cfg.M)
+		if ie, ok := l.cfg.Experts[e].(IntoExpert); ok {
+			ie.BackwardInto(cache.expCaches[e], dOut, dDispatched.View(e*blk, plan.Capacity, l.cfg.M))
+			return
+		}
 		dIn := l.cfg.Experts[e].Backward(cache.expCaches[e], dOut)
-		copy(dDispatched.Data()[e*plan.Capacity*l.cfg.M:(e+1)*plan.Capacity*l.cfg.M], dIn.Data())
-	}
+		copy(dDispatched.Data()[e*blk:(e+1)*blk], dIn.Data())
+	})
 
 	// Through Dispatch.
 	dScattered := l.disp.DispatchGrad(dDispatched)

@@ -1,9 +1,6 @@
 package moe
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/tensor"
 )
 
@@ -37,9 +34,10 @@ type GShardOrder struct{}
 // Name implements Order.
 func (GShardOrder) Name() string { return "gshard-einsum" }
 
-// selection builds the (E*T, N) 0/1 dispatch matrix for a hard plan.
+// selection builds the (E*T, N) 0/1 dispatch matrix for a hard plan. The
+// matrix is transient — callers Put it back once the GEMM consumed it.
 func selection(plan *DispatchPlan, tokens int) *tensor.Tensor {
-	s := tensor.New(plan.Slots(), tokens)
+	s := tensor.Get(plan.Slots(), tokens)
 	for e := range plan.SlotToken {
 		for slot, tok := range plan.SlotToken[e] {
 			if tok >= 0 {
@@ -50,9 +48,10 @@ func selection(plan *DispatchPlan, tokens int) *tensor.Tensor {
 	return s
 }
 
-// weightedSelection builds the (N, E*T) combine matrix carrying weights.
+// weightedSelection builds the (N, E*T) combine matrix carrying weights,
+// transient like selection.
 func weightedSelection(plan *DispatchPlan, tokens int) *tensor.Tensor {
-	c := tensor.New(tokens, plan.Slots())
+	c := tensor.Get(tokens, plan.Slots())
 	for e := range plan.SlotToken {
 		for slot, tok := range plan.SlotToken[e] {
 			if tok >= 0 {
@@ -69,7 +68,9 @@ func (GShardOrder) Scatter(x *tensor.Tensor, plan *DispatchPlan) *tensor.Tensor 
 		return tensor.MatMul(plan.DispatchW, x).Reshape(plan.Experts, plan.Capacity, x.Dim(1))
 	}
 	sel := selection(plan, x.Dim(0))
-	return tensor.MatMul(sel, x).Reshape(plan.Experts, plan.Capacity, x.Dim(1))
+	out := tensor.MatMul(sel, x).Reshape(plan.Experts, plan.Capacity, x.Dim(1))
+	tensor.Put(sel)
+	return out
 }
 
 // Gather implements Order.
@@ -79,7 +80,10 @@ func (GShardOrder) Gather(expertOut *tensor.Tensor, plan *DispatchPlan, tokens i
 	if plan.IsDense() {
 		return tensor.MatMul(plan.CombineW, flat)
 	}
-	return tensor.MatMul(weightedSelection(plan, tokens), flat)
+	w := weightedSelection(plan, tokens)
+	out := tensor.MatMul(w, flat)
+	tensor.Put(w)
+	return out
 }
 
 // ScatterGrad implements Order.
@@ -89,7 +93,10 @@ func (GShardOrder) ScatterGrad(dScattered *tensor.Tensor, plan *DispatchPlan, to
 	if plan.IsDense() {
 		return tensor.MatMulT1(plan.DispatchW, flat)
 	}
-	return tensor.MatMulT1(selection(plan, tokens), flat)
+	sel := selection(plan, tokens)
+	out := tensor.MatMulT1(sel, flat)
+	tensor.Put(sel)
+	return out
 }
 
 // GatherGrad implements Order.
@@ -104,6 +111,7 @@ func (GShardOrder) GatherGrad(dy, expertOut *tensor.Tensor, plan *DispatchPlan) 
 	}
 	c := weightedSelection(plan, tokens)
 	dFlat := tensor.MatMulT1(c, dy)
+	tensor.Put(c)
 	pg := &PlanGrad{SlotWeight: make([][]float64, plan.Experts)}
 	for e := range plan.SlotToken {
 		pg.SlotWeight[e] = make([]float64, plan.Capacity)
@@ -230,22 +238,8 @@ func (TutelOrder) GatherGrad(dy, expertOut *tensor.Tensor, plan *DispatchPlan) (
 	return dOut, pg
 }
 
-// parallelExperts runs f(e) for each expert, in parallel when there are
-// enough of them to amortize goroutine startup.
+// parallelExperts runs f(e) for each expert on the shared tensor worker
+// pool; small counts run inline there, so no threshold is needed here.
 func parallelExperts(experts int, f func(e int)) {
-	if experts < 4 || runtime.GOMAXPROCS(0) == 1 {
-		for e := 0; e < experts; e++ {
-			f(e)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for e := 0; e < experts; e++ {
-		wg.Add(1)
-		go func(e int) {
-			defer wg.Done()
-			f(e)
-		}(e)
-	}
-	wg.Wait()
+	tensor.ParallelFor(experts, f)
 }

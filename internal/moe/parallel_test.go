@@ -1,0 +1,184 @@
+package moe
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// onlyExpert hides the IntoExpert fast path, forcing the layer's copying
+// fallback, so the two code paths can be compared.
+type onlyExpert struct{ inner Expert }
+
+func (o onlyExpert) Name() string     { return o.inner.Name() }
+func (o onlyExpert) Params() []*Param { return o.inner.Params() }
+func (o onlyExpert) Forward(x *tensor.Tensor) (*tensor.Tensor, ExpertCache) {
+	return o.inner.Forward(x)
+}
+func (o onlyExpert) Backward(c ExpertCache, dy *tensor.Tensor) *tensor.Tensor {
+	return o.inner.Backward(c, dy)
+}
+func (o onlyExpert) FwdMACs(n int) float64 { return o.inner.FwdMACs(n) }
+func (o onlyExpert) ParamBytes() float64   { return o.inner.ParamBytes() }
+
+func testLayer(t *testing.T, wrap bool) (*MOELayer, []*GPTFFN) {
+	t.Helper()
+	const m, e, topK = 32, 8, 2
+	rng := xrand.New(5)
+	gate, err := NewGShardGate(GateConfig{Experts: e, TopK: topK, Factor: 1.25}, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffns := make([]*GPTFFN, e)
+	exps := make([]Expert, e)
+	for i := range exps {
+		f, err := NewGPTFFN(m, 64, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffns[i] = f
+		if wrap {
+			exps[i] = onlyExpert{f}
+		} else {
+			exps[i] = f
+		}
+	}
+	layer, err := NewMOELayer(LayerConfig{M: m, Gate: gate, Order: TutelOrder{}, Experts: exps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layer, ffns
+}
+
+// TestParallelExpertsBitIdentical is the acceptance check for the parallel
+// expert loop: forward outputs, input gradients and every parameter
+// gradient must be bit-identical at any worker-pool width, because
+// parallelism shards whole experts (and whole GEMM rows) without
+// reordering any single element's accumulation.
+func TestParallelExpertsBitIdentical(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	x := tensor.RandN(xrand.New(9), 1, 64, 32)
+	dy := tensor.RandN(xrand.New(10), 1, 64, 32)
+
+	type snapshot struct {
+		y, dx *tensor.Tensor
+		grads []*tensor.Tensor
+	}
+	run := func(workers int) snapshot {
+		tensor.SetWorkers(workers)
+		layer, _ := testLayer(t, false)
+		y, cache, err := layer.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layer.ZeroGrad()
+		dx, err := layer.Backward(cache, dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var grads []*tensor.Tensor
+		for _, p := range layer.Params() {
+			grads = append(grads, p.G.Clone())
+		}
+		return snapshot{y: y, dx: dx, grads: grads}
+	}
+
+	seq := run(1)
+	for _, w := range []int{2, 4, 8} {
+		par := run(w)
+		if par.y.MaxAbsDiff(seq.y) != 0 {
+			t.Fatalf("workers=%d: forward output not bit-identical", w)
+		}
+		if par.dx.MaxAbsDiff(seq.dx) != 0 {
+			t.Fatalf("workers=%d: input gradient not bit-identical", w)
+		}
+		for i := range seq.grads {
+			if par.grads[i].MaxAbsDiff(seq.grads[i]) != 0 {
+				t.Fatalf("workers=%d: param grad %d not bit-identical", w, i)
+			}
+		}
+	}
+}
+
+// TestSharedExpertInstanceRunsSequentially pins the compatibility rule for
+// legacy custom layers: the same Expert instance registered at several
+// indices (weight tying) must not race — the layer detects the aliasing
+// and serializes, so gradients accumulate exactly as in the sequential era.
+func TestSharedExpertInstanceRunsSequentially(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(8)
+	const m, e = 16, 4
+	rng := xrand.New(2)
+	gate, err := NewGShardGate(GateConfig{Experts: e, TopK: 1, Factor: 2}, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewGPTFFN(m, 32, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := make([]Expert, e)
+	for i := range exps {
+		exps[i] = shared
+	}
+	layer, err := NewMOELayer(LayerConfig{M: m, Gate: gate, Order: TutelOrder{}, Experts: exps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !layer.seqExperts {
+		t.Fatal("aliased expert list not detected")
+	}
+	x := tensor.RandN(xrand.New(3), 1, 24, m)
+	y, cache, err := layer.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer.ZeroGrad()
+	if _, err := layer.Backward(cache, y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntoExpertMatchesCopyingFallback verifies the zero-copy view path and
+// the copying fallback produce bit-identical results for identically
+// initialized layers.
+func TestIntoExpertMatchesCopyingFallback(t *testing.T) {
+	x := tensor.RandN(xrand.New(9), 1, 64, 32)
+	dy := tensor.RandN(xrand.New(10), 1, 64, 32)
+
+	fast, fastF := testLayer(t, false)
+	slow, slowF := testLayer(t, true)
+
+	yf, cf, err := fast.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys, cs, err := slow.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yf.MaxAbsDiff(ys) != 0 {
+		t.Fatal("view path and copy path forward outputs differ")
+	}
+	fast.ZeroGrad()
+	slow.ZeroGrad()
+	dxf, err := fast.Backward(cf, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dxs, err := slow.Backward(cs, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dxf.MaxAbsDiff(dxs) != 0 {
+		t.Fatal("view path and copy path input gradients differ")
+	}
+	for i := range fastF {
+		for j, p := range fastF[i].Params() {
+			if p.G.MaxAbsDiff(slowF[i].Params()[j].G) != 0 {
+				t.Fatalf("expert %d param %s gradient differs between paths", i, p.Name)
+			}
+		}
+	}
+}

@@ -14,6 +14,11 @@
 //	MP group  = ESP group = all locals of one (stage, node)   — intra-node
 //	EP group  = DP group  = all nodes of one (stage, local)   — inter-node
 //	PP group  = all stages of one (node, local)
+//
+// This package models the *inter-device* mesh only. Intra-process compute
+// parallelism — the worker pool that shards experts, attention heads and
+// GEMM rows across cores on the real tensor path — lives in
+// internal/tensor (ParallelFor/ParallelRange).
 package parallel
 
 import "fmt"

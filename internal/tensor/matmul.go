@@ -1,75 +1,90 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
-
-// matmulParallelThreshold is the FLOP count above which MatMul shards rows
-// across goroutines. Below it, goroutine startup costs more than it saves.
+// matmulParallelThreshold is the FLOP count above which the GEMM kernels
+// shard rows across the shared worker pool (pool.go). Below it, scheduling
+// costs more than it saves.
 const matmulParallelThreshold = 1 << 18
 
 // MatMul returns a @ b for 2-D tensors with shapes (m,k) and (k,n).
 func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMul requires 2-D tensors")
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic("tensor: MatMul inner dimension mismatch")
-	}
-	out := New(m, n)
-	matmulInto(out.data, a.data, b.data, m, k, n)
+	out := New(mmShape(a, b, "MatMul"), b.shape[1])
+	matmulInto(out.data, a.data, b.data, a.shape[0], a.shape[1], b.shape[1])
 	return out
 }
 
+// MatMulInto computes dst = a @ b, overwriting dst, which must be (m,n).
+// With a pooled dst (GetUninit) this is the allocation-free GEMM the hot
+// path uses.
+func MatMulInto(dst, a, b *Tensor) {
+	m := mmShape(a, b, "MatMulInto")
+	n := b.shape[1]
+	checkDst(dst, m, n, "MatMulInto")
+	matmulInto(dst.data, a.data, b.data, m, a.shape[1], n)
+}
+
+// mmShape validates a 2-D pair with matching inner dimension and returns m.
+func mmShape(a, b *Tensor, op string) int {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: " + op + " requires 2-D tensors")
+	}
+	if a.shape[1] != b.shape[0] {
+		panic("tensor: " + op + " inner dimension mismatch")
+	}
+	return a.shape[0]
+}
+
+func checkDst(dst *Tensor, m, n int, op string) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: " + op + " destination shape mismatch")
+	}
+}
+
 // matmulInto computes dst = A @ B where A is (m,k), B is (k,n), all
-// row-major. The i-k-j loop order keeps the inner loop streaming through
-// contiguous rows of B and dst, which is the standard cache-friendly layout
-// for row-major GEMM.
+// row-major. Rows of dst are sharded over the worker pool; each output
+// element is accumulated entirely by one goroutine in a fixed order, so the
+// result is identical at any parallel width.
 func matmulInto(dst, a, b []float64, m, k, n int) {
-	flops := m * k * n
-	if flops < matmulParallelThreshold || m == 1 {
+	// The Workers()==1 check precedes the closure so the single-threaded
+	// path stays allocation-free.
+	if m*k*n < matmulParallelThreshold || m == 1 || Workers() == 1 {
 		matmulRows(dst, a, b, 0, m, k, n)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRows(dst, a, b, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	ParallelRange(m, func(lo, hi int) {
+		matmulRows(dst, a, b, lo, hi, k, n)
+	})
 }
 
+// matmulRows is the register-blocked i-k-j kernel: the k-loop is unrolled
+// 4× so each pass streams four rows of B against four scalars of A held in
+// registers, quartering the traffic on dst.
 func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
-		di := dst[i*n : (i+1)*n]
+		di := dst[i*n : (i+1)*n : (i+1)*n]
 		for j := range di {
 			di[j] = 0
 		}
 		ai := a[i*k : (i+1)*k]
-		for p, av := range ai {
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a0, a1, a2, a3 := ai[p], ai[p+1], ai[p+2], ai[p+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b[p*n : p*n+n : p*n+n]
+			b1 := b[(p+1)*n : (p+1)*n+n : (p+1)*n+n]
+			b2 := b[(p+2)*n : (p+2)*n+n : (p+2)*n+n]
+			b3 := b[(p+3)*n : (p+3)*n+n : (p+3)*n+n]
+			for j := range di {
+				di[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; p < k; p++ {
+			av := ai[p]
 			if av == 0 {
 				continue
 			}
-			bp := b[p*n : (p+1)*n]
+			bp := b[p*n : (p+1)*n : (p+1)*n]
 			for j, bv := range bp {
 				di[j] += av * bv
 			}
@@ -84,27 +99,41 @@ func MatMulT1(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulT1 requires 2-D tensors")
 	}
+	out := New(a.shape[1], b.shape[1])
+	MatMulT1Into(out, a, b)
+	return out
+}
+
+// MatMulT1Into computes dst = aᵀ @ b, overwriting dst, which must be (m,n)
+// for a (k,m) and b (k,n).
+func MatMulT1Into(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT1Into requires 2-D tensors")
+	}
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic("tensor: MatMulT1 inner dimension mismatch")
+		panic("tensor: MatMulT1Into inner dimension mismatch")
 	}
-	out := New(m, n)
+	checkDst(dst, m, n, "MatMulT1Into")
+	clear(dst.data)
 	// dst[i,j] = sum_p a[p,i]*b[p,j]: accumulate rank-1 updates row by row.
+	// Rows of dst cannot be sharded without also sharding the p-loop (every
+	// update touches all of dst), so this kernel stays sequential; callers
+	// parallelize across experts/heads instead.
 	for p := 0; p < k; p++ {
 		ap := a.data[p*m : (p+1)*m]
-		bp := b.data[p*n : (p+1)*n]
+		bp := b.data[p*n : (p+1)*n : (p+1)*n]
 		for i, av := range ap {
 			if av == 0 {
 				continue
 			}
-			di := out.data[i*n : (i+1)*n]
+			di := dst.data[i*n : (i+1)*n : (i+1)*n]
 			for j, bv := range bp {
 				di[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatMulT2 returns a @ bᵀ where a is (m,k) and b is (n,k); the result is
@@ -114,17 +143,60 @@ func MatMulT2(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulT2 requires 2-D tensors")
 	}
+	out := New(a.shape[0], b.shape[0])
+	MatMulT2Into(out, a, b)
+	return out
+}
+
+// MatMulT2Into computes dst = a @ bᵀ, overwriting dst, which must be (m,n)
+// for a (m,k) and b (n,k). Both operands stream row-major, so the inner
+// loops are pure dot products; they are blocked four-wide over rows of b to
+// reuse each load of a's row.
+func MatMulT2Into(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT2Into requires 2-D tensors")
+	}
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic("tensor: MatMulT2 inner dimension mismatch")
+		panic("tensor: MatMulT2Into inner dimension mismatch")
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : (i+1)*k]
-		di := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.data[j*k : (j+1)*k]
+	checkDst(dst, m, n, "MatMulT2Into")
+	if m*k*n < matmulParallelThreshold || m == 1 || Workers() == 1 {
+		matmulT2Rows(dst.data, a.data, b.data, 0, m, k, n)
+		return
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	ParallelRange(m, func(lo, hi int) {
+		matmulT2Rows(dd, ad, bd, lo, hi, k, n)
+	})
+}
+
+// matmulT2Rows computes rows [lo, hi) of dst = a @ bᵀ. The j-loop is
+// blocked four-wide: four dot products share each streamed load of a's row,
+// and each dot accumulates over p in a fixed order (so results don't depend
+// on the blocking).
+func matmulT2Rows(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k : (i+1)*k]
+		di := dst[i*n : (i+1)*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			di[j], di[j+1], di[j+2], di[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			bj := b[j*k : (j+1)*k : (j+1)*k]
 			s := 0.0
 			for p, av := range ai {
 				s += av * bj[p]
@@ -132,7 +204,6 @@ func MatMulT2(a, b *Tensor) *Tensor {
 			di[j] = s
 		}
 	}
-	return out
 }
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.
@@ -151,7 +222,9 @@ func Transpose2D(a *Tensor) *Tensor {
 }
 
 // BatchedMatMul multiplies two 3-D tensors batch-wise: (b,m,k)@(b,k,n) →
-// (b,m,n). Batches run in parallel when large enough.
+// (b,m,n). Batches shard over the shared worker pool when the total work
+// clears the parallel threshold; small batched products run sequentially
+// instead of paying one goroutine per batch.
 func BatchedMatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 3 || b.Rank() != 3 {
 		panic("tensor: BatchedMatMul requires 3-D tensors")
@@ -162,14 +235,14 @@ func BatchedMatMul(a, b *Tensor) *Tensor {
 		panic("tensor: BatchedMatMul shape mismatch")
 	}
 	out := New(bs, m, n)
-	var wg sync.WaitGroup
-	for i := 0; i < bs; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+	if bs*m*k*n < matmulParallelThreshold || Workers() == 1 {
+		for i := 0; i < bs; i++ {
 			matmulRows(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], 0, m, k, n)
-		}(i)
+		}
+		return out
 	}
-	wg.Wait()
+	ParallelFor(bs, func(i int) {
+		matmulRows(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], 0, m, k, n)
+	})
 	return out
 }

@@ -1,0 +1,78 @@
+package tensor
+
+// The MatMul size sweep demanded by the pooled runtime: the plain entry
+// points allocate their destination per call, the pooled variants draw it
+// from the free-list. b.ReportAllocs makes the difference visible in
+// `go test -bench MatMul ./internal/tensor`.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+var benchSizes = []int{128, 512, 1024}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := xrand.New(1)
+			x := RandN(rng, 1, n, n)
+			y := RandN(rng, 1, n, n)
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := MatMul(x, y)
+				_ = out
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulPooled(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := xrand.New(1)
+			x := RandN(rng, 1, n, n)
+			y := RandN(rng, 1, n, n)
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := GetUninit(n, n)
+				MatMulInto(out, x, y)
+				Put(out)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulT2(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := xrand.New(1)
+			x := RandN(rng, 1, n, n)
+			y := RandN(rng, 1, n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := GetUninit(n, n)
+				MatMulT2Into(out, x, y)
+				Put(out)
+			}
+		})
+	}
+}
+
+func BenchmarkBatchedMatMul(b *testing.B) {
+	rng := xrand.New(1)
+	x := RandN(rng, 1, 16, 128, 64)
+	y := RandN(rng, 1, 16, 64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BatchedMatMul(x, y)
+	}
+}

@@ -60,6 +60,37 @@ func AddScaledInPlace(a *Tensor, s float64, b *Tensor) {
 	}
 }
 
+// ScaleInPlace multiplies every element of a by s.
+func ScaleInPlace(a *Tensor, s float64) {
+	for i := range a.data {
+		a.data[i] *= s
+	}
+}
+
+// MulInto stores a * b (Hadamard) into dst; all three must share a shape.
+func MulInto(dst, a, b *Tensor) {
+	checkSameShape("MulInto", a, b)
+	checkSameShape("MulInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = v * b.data[i]
+	}
+}
+
+// AddRowVectorInPlace adds a length-n vector v to every row of a 2-D (m,n)
+// tensor in place — the allocation-free bias add of the pooled FFN path.
+func AddRowVectorInPlace(a *Tensor, v *Tensor) {
+	if a.Rank() != 2 || v.Rank() != 1 || a.shape[1] != v.shape[0] {
+		panic("tensor: AddRowVectorInPlace shape mismatch")
+	}
+	n := a.shape[1]
+	for i := 0; i < a.shape[0]; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += v.data[j]
+		}
+	}
+}
+
 // AddRowVector adds a length-n vector v to every row of a 2-D (m,n) tensor,
 // as a bias term does.
 func AddRowVector(a *Tensor, v *Tensor) *Tensor {
@@ -91,6 +122,21 @@ func Apply(a *Tensor, f func(float64) float64) *Tensor {
 	}
 	return out
 }
+
+// ApplyInto stores f applied elementwise to a into dst (same shape; dst may
+// be a). Callers pair it with GetUninit for allocation-free activations.
+func ApplyInto(dst, a *Tensor, f func(float64) float64) {
+	checkSameShape("ApplyInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = f(v)
+	}
+}
+
+// GeLUInto stores GeLU(a) into dst.
+func GeLUInto(dst, a *Tensor) { ApplyInto(dst, a, gelu) }
+
+// SiLUInto stores SiLU(a) into dst.
+func SiLUInto(dst, a *Tensor) { ApplyInto(dst, a, silu) }
 
 // Sum returns the sum of all elements.
 func Sum(a *Tensor) float64 {

@@ -1,0 +1,236 @@
+package tensor
+
+// This file is the shared compute-and-memory runtime behind the real tensor
+// path: a lazily-started worker pool that every parallel kernel (MatMul,
+// BatchedMatMul, the per-expert loops in internal/moe, the per-head loops in
+// internal/attention) shards work onto, and a size-bucketed free-list of
+// tensor buffers that eliminates per-op allocations on the hot path.
+//
+// Worker pool
+//
+// ParallelFor and ParallelRange split an index space into at most Workers()
+// contiguous chunks. Chunk boundaries never split a single output element's
+// accumulation across goroutines, so a kernel that partitions rows this way
+// produces bit-identical results whether it runs on one worker or many.
+// Submission is non-blocking: when the queue is full (including when a
+// worker itself calls ParallelFor, which nested kernels do), the chunk runs
+// inline on the caller, so nesting can never deadlock.
+//
+// Buffer free-list
+//
+// Get/GetUninit hand out tensors whose backing arrays are recycled through
+// per-size-class sync.Pools; Put returns them. Ownership rules (violations
+// corrupt unrelated tensors, so they are strict):
+//
+//   - Only the holder of a tensor obtained from Get/GetUninit may Put it,
+//     and at most once. Put on a tensor from New/FromData or on any view is
+//     a safe no-op.
+//   - A tensor must not be Put while any view of it (View/Slice/Reshape/Row)
+//     is still reachable: views alias the backing array, and Put hands that
+//     array to the next Get.
+//   - GetUninit returns garbage contents; use it only for destinations that
+//     are fully overwritten (e.g. MatMulInto).
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount is the configured parallel width; 0 means "use GOMAXPROCS".
+var workerCount atomic.Int64
+
+// Workers returns the parallel width kernels shard to.
+func Workers() int {
+	if n := int(workerCount.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the parallel width (tests use it to exercise the
+// concurrent paths regardless of GOMAXPROCS). n <= 0 restores the default.
+func SetWorkers(n int) { workerCount.Store(int64(n)) }
+
+const maxPoolGoroutines = 32
+
+var (
+	startOnce sync.Once
+	workQueue chan func()
+)
+
+func startPool() {
+	startOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 4 {
+			n = 4
+		}
+		if n > maxPoolGoroutines {
+			n = maxPoolGoroutines
+		}
+		workQueue = make(chan func(), 4*maxPoolGoroutines)
+		for i := 0; i < n; i++ {
+			go func() {
+				for task := range workQueue {
+					task()
+				}
+			}()
+		}
+	})
+}
+
+// submit hands task to a pool worker, or runs it inline when the queue is
+// full. Inline fallback keeps nested ParallelFor calls deadlock-free.
+func submit(task func()) {
+	select {
+	case workQueue <- task:
+	default:
+		task()
+	}
+}
+
+// ParallelRange splits [0, n) into at most Workers() contiguous chunks and
+// runs fn(lo, hi) on each, returning when all complete. The caller executes
+// the first chunk itself, then helps drain the work queue until its chunks
+// finish — so even if every pool worker is itself blocked in a nested
+// ParallelRange, queued tasks always have someone running them and nesting
+// can never deadlock, regardless of how Workers() compares to the pool's
+// goroutine count.
+func ParallelRange(n int, fn func(lo, hi int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	startPool()
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		lo, hi := lo, lo+chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		submit(func() {
+			defer wg.Done()
+			fn(lo, hi)
+		})
+	}
+	fn(0, chunk)
+	helpWait(&wg)
+}
+
+// helpWait drains the work queue until it is momentarily empty, then
+// blocks on wg. Waiters doubling as workers is what makes nested parallel
+// calls starvation-free: a region's chunks are all submitted before its
+// waiter arrives here, so once the queue reads empty every remaining chunk
+// is already running on some goroutine (whose own nested chunks that
+// goroutine will likewise drain), and wg.Wait must terminate. Draining
+// first costs no allocation and blocks the waiter behind at most the tasks
+// it chose to execute.
+func helpWait(wg *sync.WaitGroup) {
+	for {
+		select {
+		case task := <-workQueue:
+			task()
+		default:
+			wg.Wait()
+			return
+		}
+	}
+}
+
+// ParallelFor runs fn(i) for every i in [0, n), sharding the index space
+// over the worker pool. Iterations must be independent: they may run
+// concurrently and in any order across chunks.
+func ParallelFor(n int, fn func(i int)) {
+	ParallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// maxPoolBucket caps pooled buffers at 2^26 elements (512 MiB of float64);
+// anything larger allocates directly and is never recycled.
+const maxPoolBucket = 26
+
+// freeLists[b] holds *Tensor whose backing arrays have capacity exactly 2^b.
+var freeLists [maxPoolBucket + 1]sync.Pool
+
+// bucketFor returns the free-list class for n elements: the smallest b with
+// 1<<b >= n.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetUninit returns a tensor of the given shape from the free-list without
+// clearing it: the contents are whatever the previous owner left behind.
+// Use only when every element will be overwritten.
+func GetUninit(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in Get")
+		}
+		n *= d
+	}
+	b := bucketFor(n)
+	if b > maxPoolBucket {
+		// Too big to recycle; allocate directly (and never Put it back).
+		// Built inline so the shape slice never escapes on the hot path.
+		t := &Tensor{data: make([]float64, n)}
+		t.setShape(shape)
+		return t
+	}
+	t, _ := freeLists[b].Get().(*Tensor)
+	if t == nil {
+		t = &Tensor{data: make([]float64, 1<<b)}
+	}
+	t.data = t.data[:n]
+	t.setShape(shape)
+	t.poolable = true
+	return t
+}
+
+// Get returns a zero-filled tensor of the given shape from the free-list.
+func Get(shape ...int) *Tensor {
+	t := GetUninit(shape...)
+	clear(t.data)
+	return t
+}
+
+// Put returns a tensor obtained from Get/GetUninit to the free-list. The
+// caller must not retain t, its Data(), or any view of it afterwards — and
+// must not Put the same tensor twice. Put is a no-op for tensors the pool
+// does not own (New/FromData results, views), so releasing a tensor of
+// unknown origin is safe; but an erroneous second Put of a pooled tensor is
+// only ignored until a Get re-issues the object, after which it would
+// return someone else's live buffer. "At most once" is the rule, not a
+// best-effort guard.
+func Put(t *Tensor) {
+	if t == nil || !t.poolable {
+		return
+	}
+	t.poolable = false
+	c := cap(t.data)
+	if c == 0 || c&(c-1) != 0 {
+		return // not a pool-shaped buffer; drop it
+	}
+	b := bits.Len(uint(c)) - 1
+	if b > maxPoolBucket {
+		return
+	}
+	t.data = t.data[:c]
+	t.shape = nil
+	freeLists[b].Put(t)
+}

@@ -7,6 +7,24 @@
 // token dropping — are validated on actual data rather than mocked.
 // Timing, by contrast, is the job of internal/sim; nothing here pretends to
 // be fast enough to train an LLM.
+//
+// # Views and aliasing
+//
+// Reshape, View, Slice and Row return views: tensors (or slices) that share
+// the receiver's backing array. Writing through a view writes the original.
+// Views are how the MoE hot path avoids copies — each expert reads its
+// (T, M) block of the dispatched (E, T, M) tensor and writes its block of
+// the output through views. Two views of the same tensor may be used
+// concurrently only if their element ranges are disjoint.
+//
+// # Buffer pool ownership
+//
+// Get/GetUninit/Put (pool.go) recycle backing arrays through a free-list.
+// The single-owner rule: only the code that obtained a tensor from Get may
+// Put it, at most once, and only when no view of it is still live — after
+// Put, the backing array may be handed to an unrelated Get. Tensors from
+// New/FromData and all views are outside the pool; Put ignores them, so
+// defensively Put-ing a value of unknown origin is safe.
 package tensor
 
 import (
@@ -18,6 +36,23 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float64
+
+	// shapeBuf backs shape for ranks ≤ 4, so reshaping a pooled tensor
+	// allocates nothing.
+	shapeBuf [4]int
+	// poolable marks tensors owned by the Get/Put free-list (pool.go).
+	// Views and plain New/FromData tensors are never poolable.
+	poolable bool
+}
+
+// setShape installs shape without allocating when the rank fits shapeBuf.
+func (t *Tensor) setShape(shape []int) {
+	if len(shape) <= len(t.shapeBuf) {
+		t.shape = t.shapeBuf[:len(shape)]
+	} else {
+		t.shape = make([]int, len(shape))
+	}
+	copy(t.shape, shape)
 }
 
 // New allocates a zero-filled tensor with the given shape. Every dimension
@@ -122,6 +157,44 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
 	}
 	return &Tensor{shape: s, data: t.data}
+}
+
+// View returns a zero-copy view of the given shape over t's storage
+// starting at flat offset off. The view shares t's backing array: writes
+// through either are visible to both, and the view must not outlive a Put
+// of t.
+func (t *Tensor) View(off int, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in View shape %v", shape))
+		}
+		n *= d
+	}
+	if off < 0 || off+n > len(t.data) {
+		panic(fmt.Sprintf("tensor: View [%d, %d) out of range for %d elements", off, off+n, len(t.data)))
+	}
+	v := &Tensor{data: t.data[off : off+n : off+n]}
+	v.setShape(shape)
+	return v
+}
+
+// Slice returns a zero-copy view of rows [lo, hi) along the leading
+// dimension, with the remaining dimensions unchanged. For an (E, T, M)
+// tensor, Slice(e, e+1).Reshape(T, M) is expert e's block without a copy.
+func (t *Tensor) Slice(lo, hi int) *Tensor {
+	if t.Rank() == 0 {
+		panic("tensor: Slice requires rank ≥ 1")
+	}
+	if lo < 0 || hi < lo || hi > t.shape[0] {
+		panic(fmt.Sprintf("tensor: Slice [%d, %d) out of range for shape %v", lo, hi, t.shape))
+	}
+	stride := 1
+	for _, d := range t.shape[1:] {
+		stride *= d
+	}
+	shape := append([]int{hi - lo}, t.shape[1:]...)
+	return t.View(lo*stride, shape...)
 }
 
 // Row returns a view of row i of a 2-D tensor as a slice.
