@@ -1,15 +1,18 @@
 // Command fsmoe-bench regenerates every table and figure of the paper's
-// evaluation section on the simulated testbeds.
+// evaluation section on the simulated testbeds, plus the executable-
+// runtime experiment that measures the pipelining for real.
 //
 // Usage:
 //
 //	fsmoe-bench -experiment all
 //	fsmoe-bench -experiment table5 -sample 9
-//	fsmoe-bench -experiment fig6
+//	fsmoe-bench -experiment realpipe
 //
 // Experiments: table2, table5, table6, fig4, fig5, fig6, fig7, fig8,
-// degrees, all. -sample N evaluates every Nth configuration of the 1458
-// Table 4 grid (1 = full sweep).
+// degrees, realpipe, all. -sample N evaluates every Nth configuration of
+// the 1458 Table 4 grid (1 = full sweep). "all" runs the simulated paper
+// experiments; realpipe executes real multi-rank passes and is invoked
+// explicitly.
 package main
 
 import (
@@ -27,38 +30,24 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|all")
+	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|all")
 	sample := flag.Int("sample", 9, "evaluate every Nth Table 4 configuration (1 = all 1458)")
 	flag.Parse()
 
-	runs := map[string]func(int) error{
-		"table2":  func(int) error { return table2() },
-		"table5":  table5,
-		"table6":  func(int) error { return table6() },
-		"fig4":    func(int) error { return fig4() },
-		"fig5":    func(int) error { return fig5() },
-		"fig6":    func(int) error { return fig6() },
-		"fig7":    func(int) error { return fig7() },
-		"fig8":    func(int) error { return fig8() },
-		"degrees": degrees,
+	// Validate up front so a typo fails with the full menu instead of a
+	// bare "unknown experiment" at dispatch time.
+	names, err := lookupExperiments(*experiment)
+	if err != nil {
+		fatal(err)
 	}
-	order := []string{"table2", "fig4", "fig5", "table5", "fig6", "fig7", "fig8", "table6", "degrees"}
-
-	if *experiment == "all" {
-		for _, name := range order {
-			if err := runs[name](*sample); err != nil {
-				fatal(err)
-			}
+	runs := experimentTable()
+	for i, name := range names {
+		if err := runs[name](*sample); err != nil {
+			fatal(err)
+		}
+		if i < len(names)-1 {
 			fmt.Println()
 		}
-		return
-	}
-	run, ok := runs[*experiment]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *experiment))
-	}
-	if err := run(*sample); err != nil {
-		fatal(err)
 	}
 }
 

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentDispatchTable: every name "all" expands to must exist in
+// the dispatch table, realpipe is dispatchable but not part of "all", and
+// lookups resolve exactly the named experiment.
+func TestExperimentDispatchTable(t *testing.T) {
+	table := experimentTable()
+	for _, name := range allOrder() {
+		if table[name] == nil {
+			t.Fatalf("'all' references %q which is not in the dispatch table", name)
+		}
+	}
+	if table["realpipe"] == nil {
+		t.Fatal("realpipe missing from the dispatch table")
+	}
+	for _, name := range allOrder() {
+		if name == "realpipe" {
+			t.Fatal("realpipe must not run as part of the simulated 'all' sweep")
+		}
+	}
+	names, err := lookupExperiments("all")
+	if err != nil || len(names) != len(allOrder()) {
+		t.Fatalf("lookup all: %v, %d names", err, len(names))
+	}
+	names, err = lookupExperiments("fig4")
+	if err != nil || len(names) != 1 || names[0] != "fig4" {
+		t.Fatalf("lookup fig4: %v %v", names, err)
+	}
+}
+
+// TestExperimentLookupRejectsUnknown: a typo fails with an error listing
+// every valid experiment.
+func TestExperimentLookupRejectsUnknown(t *testing.T) {
+	_, err := lookupExperiments("tabel5")
+	if err == nil {
+		t.Fatal("unknown experiment must be rejected")
+	}
+	for _, want := range append([]string{"all", "realpipe"}, allOrder()...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list valid experiment %q", err, want)
+		}
+	}
+}

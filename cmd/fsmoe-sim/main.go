@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/topology"
@@ -32,18 +33,19 @@ func main() {
 	width := flag.Int("width", 110, "gantt width in columns")
 	flag.Parse()
 
-	var cluster *topology.Cluster
-	switch *testbed {
-	case "A", "a":
-		cluster = topology.TestbedA()
-	case "B", "b":
-		cluster = topology.TestbedB()
-	default:
-		fatal(fmt.Errorf("unknown testbed %q", *testbed))
+	// Validate every enumerated flag up front, with the full menu in the
+	// error, before any simulation work starts.
+	cluster, err := clusterFor(*testbed)
+	if err != nil {
+		fatal(err)
 	}
-	ffnType := workload.FFNSimple
-	if *ffn == "mixtral" {
-		ffnType = workload.FFNMixtral
+	systems, err := systemsFor(*system)
+	if err != nil {
+		fatal(err)
+	}
+	ffnType, err := ffnFor(*ffn)
+	if err != nil {
+		fatal(err)
 	}
 	cfg := workload.Config{B: *b, L: *l, M: *m, NHScale: *hscale, NHeads: *nheads, K: *k, F: *f, FFN: ffnType}
 	scenario, err := topology.CanonicalScenario(cluster, 1)
@@ -56,10 +58,6 @@ func main() {
 	fmt.Printf("volumes: a2a=%.1fMB esp=%.1fMB expert=%.2fGMAC grads=%.1fMB\n\n",
 		v.NA2A/1e6, v.NAG/1e6, v.ExpMACs/1e9, v.GradBytes/1e6)
 
-	systems := core.AllSystems()
-	if *system != "all" {
-		systems = []core.System{core.System(*system)}
-	}
 	for _, sys := range systems {
 		res, err := models.SimulateSingleLayer(v, sys, core.BuildOptions{})
 		if err != nil {
@@ -74,4 +72,48 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fsmoe-sim:", err)
 	os.Exit(1)
+}
+
+// clusterFor resolves the -testbed flag.
+func clusterFor(name string) (*topology.Cluster, error) {
+	switch name {
+	case "A", "a":
+		return topology.TestbedA(), nil
+	case "B", "b":
+		return topology.TestbedB(), nil
+	default:
+		return nil, fmt.Errorf("unknown testbed %q (valid: A, B)", name)
+	}
+}
+
+// systemsFor resolves the -system flag to the schedulers to run. An
+// unknown name fails here with the full menu rather than silently running
+// the default scheduler behavior at dispatch time.
+func systemsFor(name string) ([]core.System, error) {
+	if name == "all" {
+		return core.AllSystems(), nil
+	}
+	for _, sys := range core.AllSystems() {
+		if string(sys) == name {
+			return []core.System{sys}, nil
+		}
+	}
+	valid := make([]string, 0, len(core.AllSystems())+1)
+	for _, sys := range core.AllSystems() {
+		valid = append(valid, string(sys))
+	}
+	valid = append(valid, "all")
+	return nil, fmt.Errorf("unknown system %q (valid: %s)", name, strings.Join(valid, ", "))
+}
+
+// ffnFor resolves the -ffn flag.
+func ffnFor(name string) (workload.FFNType, error) {
+	switch name {
+	case "simple":
+		return workload.FFNSimple, nil
+	case "mixtral":
+		return workload.FFNMixtral, nil
+	default:
+		return "", fmt.Errorf("unknown ffn type %q (valid: simple, mixtral)", name)
+	}
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSystemsFor: every scheduler name resolves to itself, "all" expands
+// to the full list, and an unknown name fails listing every valid choice.
+func TestSystemsFor(t *testing.T) {
+	for _, sys := range core.AllSystems() {
+		got, err := systemsFor(string(sys))
+		if err != nil || len(got) != 1 || got[0] != sys {
+			t.Fatalf("systemsFor(%q) = %v, %v", sys, got, err)
+		}
+	}
+	all, err := systemsFor("all")
+	if err != nil || len(all) != len(core.AllSystems()) {
+		t.Fatalf("systemsFor(all) = %v, %v", all, err)
+	}
+	_, err = systemsFor("deepspeed")
+	if err == nil {
+		t.Fatal("unknown system must be rejected")
+	}
+	for _, sys := range core.AllSystems() {
+		if !strings.Contains(err.Error(), string(sys)) {
+			t.Fatalf("error %q does not list %q", err, sys)
+		}
+	}
+}
+
+// TestClusterAndFFNFor cover the remaining enumerated flags.
+func TestClusterAndFFNFor(t *testing.T) {
+	for _, name := range []string{"A", "a", "B", "b"} {
+		if _, err := clusterFor(name); err != nil {
+			t.Fatalf("clusterFor(%q): %v", name, err)
+		}
+	}
+	if _, err := clusterFor("C"); err == nil || !strings.Contains(err.Error(), "A, B") {
+		t.Fatalf("clusterFor(C) = %v, want error listing A, B", err)
+	}
+	for _, name := range []string{"simple", "mixtral"} {
+		if _, err := ffnFor(name); err != nil {
+			t.Fatalf("ffnFor(%q): %v", name, err)
+		}
+	}
+	if _, err := ffnFor("moe"); err == nil {
+		t.Fatal("unknown ffn must be rejected")
+	}
+}

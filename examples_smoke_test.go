@@ -1,0 +1,39 @@
+package repro
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end — examples
+// were previously only compiled, so a runtime regression (a panic, a
+// changed API contract, an error exit) went unnoticed. Each must exit 0.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run real passes; skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			out, err := exec.Command(goBin, "run", "./"+dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("go run ./%s produced no output", dir)
+			}
+		})
+	}
+}

@@ -99,6 +99,7 @@ type LayerConfig struct {
 // Layer is a fully assembled MoE layer.
 type Layer struct {
 	inner *moe.MOELayer
+	cfg   LayerConfig // retained for NewWorld's Algorithm-1 volume derivation
 }
 
 // NewLayer validates the configuration and assembles the layer.
@@ -178,7 +179,7 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Layer{inner: inner}, nil
+	return &Layer{inner: inner, cfg: cfg}, nil
 }
 
 // Forward runs the layer on x, shaped (B, L, M) or (N, M). train enables

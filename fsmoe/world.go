@@ -1,0 +1,194 @@
+package fsmoe
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/moe"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Executable-runtime vocabulary.
+type (
+	// WorldCache carries a World forward pass's state to Backward.
+	WorldCache = moe.WorldCache
+	// StreamPlan is an executable stream schedule (simulate or execute).
+	StreamPlan = runtime.Plan
+	// Trace is a stream timeline, simulated or measured.
+	Trace = sim.Trace
+	// A2AKind names an AlltoAll algorithm for the executable world.
+	A2AKind = comm.A2AAlgo
+	// CommStats is cumulative collective traffic.
+	CommStats = comm.Stats
+)
+
+// The three AlltoAll algorithms of §3.1's Dispatch sub-module.
+const (
+	A2ADirect = comm.A2ADirect
+	A2A1DH    = comm.A2A1DH
+	A2A2DH    = comm.A2A2DH
+)
+
+// WorldConfig configures multi-rank pipelined execution of a Layer.
+//
+// PipelineDegree selects the number of token chunks r each dispatch and
+// combine AlltoAll is split into. Zero means automatic: Algorithm 1 (§4.4)
+// runs on the testbed's fitted performance models with volumes derived
+// from the layer's real shape and BatchTokens, separately per phase — the
+// chosen degrees are what actually execute, closing the loop between the
+// scheduler and the runtime.
+type WorldConfig struct {
+	Ranks             int     // R; the layer's experts are sharded E/R per rank
+	PipelineDegree    int     // forward r; 0 = Algorithm 1
+	PipelineDegreeBwd int     // backward r; 0 inherits (auto mode optimizes it separately)
+	Algo              A2AKind // AlltoAll algorithm (default Direct)
+	GPUsPerNode       int     // node shape for 1DH/2DH (default Ranks)
+
+	// Auto-degree inputs, used only when PipelineDegree == 0.
+	Cluster     *Cluster // testbed whose models drive Algorithm 1 (default TestbedA)
+	BatchTokens int      // B·L tokens per iteration (default 4096)
+}
+
+// World executes a Layer expert-parallel across in-process ranks with
+// chunked AlltoAll dispatch/combine pipelined on real streams. Forward and
+// Backward are bit-identical to the Layer's single-rank path for every
+// hard-routing gate.
+type World struct {
+	inner      *moe.World
+	degF, degB core.DegreeResult
+	auto       bool
+}
+
+// NewWorld builds the executable multi-rank runtime for a layer.
+func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
+	if l == nil {
+		return nil, fmt.Errorf("fsmoe: NewWorld needs a layer")
+	}
+	w := &World{}
+	degF, degB := cfg.PipelineDegree, cfg.PipelineDegreeBwd
+	if degF == 0 {
+		w.auto = true
+		cluster := cfg.Cluster
+		if cluster == nil {
+			cluster = topology.TestbedA()
+		}
+		tokens := cfg.BatchTokens
+		if tokens <= 0 {
+			tokens = 4096
+		}
+		v := layerVolumes(l, tokens)
+		m := core.ModelsFromCluster(cluster)
+		w.degF = m.FindOptimalPipelineDegree(v, 0, core.Forward, 16)
+		w.degB = m.FindOptimalPipelineDegree(v, 0, core.Backward, 16)
+		degF = w.degF.R
+		// An explicit backward degree overrides Algorithm 1's choice even
+		// in auto mode.
+		if degB == 0 {
+			degB = w.degB.R
+		}
+	} else if degB == 0 {
+		degB = degF
+	}
+	inner, err := moe.NewWorld(l.inner, moe.WorldConfig{
+		Ranks:       cfg.Ranks,
+		ChunksFwd:   degF,
+		ChunksBwd:   degB,
+		Algo:        cfg.Algo,
+		GPUsPerNode: cfg.GPUsPerNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.inner = inner
+	return w, nil
+}
+
+// layerVolumes derives Algorithm-1 scheduling volumes from the real layer:
+// AlltoAll bytes from the nominal dispatched token count, intra-stream
+// bytes from the wire-layout (un)pack stages (which move the same volume),
+// and expert MACs / gradient bytes from the live expert implementations —
+// so custom experts steer the degree through their own FwdMACs/ParamBytes.
+func layerVolumes(l *Layer, tokens int) Volumes {
+	cfg := l.cfg
+	effF := cfg.CapacityFactor
+	if effF <= 0 {
+		effF = 1.0
+	}
+	k := cfg.TopK
+	if k < 1 {
+		k = 1
+	}
+	dispatched := float64(k) * effF * float64(tokens)
+	nA2A := dispatched * float64(cfg.M) * workload.ActivationBytes
+	experts := l.inner.Experts()
+	perExpert := int(dispatched) / len(experts)
+	if perExpert < 1 {
+		perExpert = 1
+	}
+	macs, gradBytes := 0.0, 0.0
+	for _, e := range experts {
+		macs += e.FwdMACs(perExpert)
+		gradBytes += e.ParamBytes()
+	}
+	gemms := 2
+	if cfg.Expert == ExpertMixtral {
+		gemms = 3
+	}
+	return Volumes{
+		NA2A:     nA2A,
+		NAG:      nA2A,
+		NRS:      nA2A,
+		ExpMACs:  macs,
+		ExpGEMMs: gemms,
+		// The dense part is outside the World's pipeline; a nominal floor
+		// keeps the volumes valid for full-iteration simulations.
+		DenseFwd:  0.1,
+		DenseBwd:  0.2,
+		GradBytes: gradBytes,
+	}
+}
+
+// Forward runs the pipelined multi-rank forward pass on x, shaped
+// (B, L, M) or (N, M).
+func (w *World) Forward(x *Tensor, train bool) (*Tensor, *WorldCache, error) {
+	return w.inner.Forward(x, train)
+}
+
+// Backward runs the pipelined multi-rank backward pass.
+func (w *World) Backward(cache *WorldCache, dy *Tensor) (*Tensor, error) {
+	return w.inner.Backward(cache, dy)
+}
+
+// Ranks returns R; Chunked reports whether the chunk-granular expert path
+// is active (custom experts without the chunked contract fall back to
+// whole-block compute with chunked communication).
+func (w *World) Ranks() int    { return w.inner.Ranks() }
+func (w *World) Chunked() bool { return w.inner.Chunked() }
+
+// PipelineDegrees returns the forward and backward chunk counts in effect.
+func (w *World) PipelineDegrees() (fwd, bwd int) { return w.inner.Degrees() }
+
+// DegreeResults returns Algorithm 1's full forward/backward outcomes when
+// the degrees were chosen automatically (zero values otherwise).
+func (w *World) DegreeResults() (fwd, bwd DegreeResult) { return w.degF, w.degB }
+
+// AutoDegree reports whether Algorithm 1 chose the degrees.
+func (w *World) AutoDegree() bool { return w.auto }
+
+// SetSequential switches between the pipelined stream executor (default)
+// and a single-goroutine no-overlap baseline; results are identical.
+func (w *World) SetSequential(seq bool) { w.inner.SetSequential(seq) }
+
+// Stats returns cumulative AlltoAll traffic across passes.
+func (w *World) Stats() CommStats { return w.inner.Stats() }
+
+// LastPlan and LastTrace expose the most recent pass's stream plan and
+// measured timeline: LastTrace().Gantt(120) renders the measured Fig. 3,
+// and LastPlan().SimulateWith(...) predicts alternative schedules from
+// measured stage durations.
+func (w *World) LastPlan() *StreamPlan { return w.inner.LastPlan() }
+func (w *World) LastTrace() *Trace     { return w.inner.LastTrace() }

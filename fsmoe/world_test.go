@@ -1,0 +1,110 @@
+package fsmoe
+
+import (
+	"testing"
+)
+
+func worldTestLayer(t *testing.T) *Layer {
+	t.Helper()
+	l, err := NewLayer(LayerConfig{
+		M: 32, H: 64, Experts: 8, TopK: 2, CapacityFactor: 1.25, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestWorldMatchesLayer: the public multi-rank pipelined path agrees
+// bit-for-bit with the single-rank Layer path.
+func TestWorldMatchesLayer(t *testing.T) {
+	layer := worldTestLayer(t)
+	x := RandTensor(91, 96, 32)
+	dy := RandTensor(92, 96, 32)
+
+	layer.ZeroGrad()
+	wantY, cache, err := layer.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDx, err := layer.Backward(cache, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantGrads []*Tensor
+	for _, p := range layer.Params() {
+		wantGrads = append(wantGrads, p.G.Clone())
+	}
+
+	w, err := NewWorld(layer, WorldConfig{Ranks: 4, PipelineDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer.ZeroGrad()
+	gotY, wc, err := w.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDx, err := w.Backward(wc, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotY.MaxAbsDiff(wantY) != 0 || gotDx.MaxAbsDiff(wantDx) != 0 {
+		t.Fatal("world output or input gradient differs from the layer path")
+	}
+	for i, p := range layer.Params() {
+		if p.G.MaxAbsDiff(wantGrads[i]) != 0 {
+			t.Fatalf("param grad %d differs from the layer path", i)
+		}
+	}
+	if w.LastTrace() == nil || w.LastTrace().Makespan <= 0 {
+		t.Fatal("world did not record a measured trace")
+	}
+}
+
+// TestWorldAutoDegree: with PipelineDegree 0, Algorithm 1 picks the
+// degrees that execute — both at least 1, recorded with their predicted
+// times, and the pass still runs.
+func TestWorldAutoDegree(t *testing.T) {
+	layer := worldTestLayer(t)
+	w, err := NewWorld(layer, WorldConfig{Ranks: 2, BatchTokens: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.AutoDegree() {
+		t.Fatal("expected automatic degree selection")
+	}
+	fwd, bwd := w.PipelineDegrees()
+	if fwd < 1 || bwd < 1 {
+		t.Fatalf("degrees (%d, %d) must be >= 1", fwd, bwd)
+	}
+	df, db := w.DegreeResults()
+	if df.R != fwd || db.R != bwd || df.TMoE <= 0 || db.TMoE <= 0 {
+		t.Fatalf("degree results inconsistent: %+v %+v", df, db)
+	}
+	x := RandTensor(93, 64, 32)
+	y, wc, err := w.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Backward(wc, RandTensor(94, 64, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != 64 || y.Dim(1) != 32 {
+		t.Fatalf("unexpected output shape %v", y.Shape())
+	}
+}
+
+// TestWorldExplicitBwdDegree: the backward degree can differ from the
+// forward one (the §2.3 motivation realized on the executable path).
+func TestWorldExplicitBwdDegree(t *testing.T) {
+	layer := worldTestLayer(t)
+	w, err := NewWorld(layer, WorldConfig{Ranks: 2, PipelineDegree: 4, PipelineDegreeBwd: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, bwd := w.PipelineDegrees()
+	if fwd != 4 || bwd != 2 {
+		t.Fatalf("degrees (%d, %d), want (4, 2)", fwd, bwd)
+	}
+}

@@ -1,0 +1,236 @@
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file layers chunked, asynchronous AlltoAll on top of the monolithic
+// Direct/1DH/2DH algorithms — the communication half of the paper's §4
+// fine-grained task scheduling. The token dimension of every per-destination
+// block is split into r contiguous row chunks; each chunk is a complete
+// (smaller) AlltoAll with its own completion, so a stream runtime can start
+// expert computation on chunk c while chunk c+1 is still in flight. Because
+// chunking only restricts the same permutation to disjoint row sets, the
+// reassembled result is byte-identical to the monolithic collective for
+// every algorithm.
+
+// BlockDims describes the shape of each per-destination block of an
+// AlltoAll buffer: Rows token rows of Width elements. Every rank's buffer
+// is p consecutive such blocks (block d destined to rank d), exactly the
+// layout DirectAlltoAll &co. validate via blockView.
+type BlockDims struct {
+	Rows  int // tokens per destination block (the chunked dimension)
+	Width int // elements per token row
+}
+
+// Elems returns the per-block element count.
+func (d BlockDims) Elems() int { return d.Rows * d.Width }
+
+// validate checks data against the layout.
+func (d BlockDims) validate(data [][]float64) (int, error) {
+	b, err := blockView(data)
+	if err != nil {
+		return 0, err
+	}
+	if d.Rows <= 0 || d.Width <= 0 {
+		return 0, fmt.Errorf("comm: invalid block dims %dx%d", d.Rows, d.Width)
+	}
+	if b != d.Elems() {
+		return 0, fmt.Errorf("comm: block has %d elements, dims say %dx%d=%d", b, d.Rows, d.Width, d.Elems())
+	}
+	return b, nil
+}
+
+// RowRange is one contiguous chunk [Lo, Hi) of a block's token rows.
+type RowRange struct{ Lo, Hi int }
+
+// Len returns the number of rows in the range.
+func (r RowRange) Len() int { return r.Hi - r.Lo }
+
+// SplitRows partitions rows into at most chunks contiguous, near-equal,
+// non-empty ranges — the r-way token split of §4.1. Fewer ranges come back
+// when rows < chunks; rows <= 0 yields a single empty range (note the
+// AlltoAll entry points require BlockDims.Rows >= 1, so an empty range is
+// only useful to callers managing their own buffers).
+func SplitRows(rows, chunks int) []RowRange {
+	if chunks < 1 {
+		chunks = 1
+	}
+	if rows <= 0 {
+		return []RowRange{{0, 0}}
+	}
+	if chunks > rows {
+		chunks = rows
+	}
+	out := make([]RowRange, chunks)
+	for c := 0; c < chunks; c++ {
+		out[c] = RowRange{Lo: c * rows / chunks, Hi: (c + 1) * rows / chunks}
+	}
+	return out
+}
+
+// AlltoAllRows runs the AlltoAll restricted to rows [rr.Lo, rr.Hi) of every
+// destination block, writing the exchanged rows into the same positions of
+// out (out[d] must be b*p elements like a monolithic result buffer; rows
+// outside the range are untouched). It packs the sub-rows into dense
+// per-rank buffers, runs the chosen monolithic algorithm on them, and
+// scatters the arrivals — so the data movement inherits the algorithm's
+// step structure and the per-row bytes are exactly the monolithic ones.
+func AlltoAllRows(algo A2AAlgo, data, out [][]float64, gpusPerNode int, dims BlockDims, rr RowRange) (Stats, error) {
+	var st Stats
+	b, err := dims.validate(data)
+	if err != nil {
+		return st, err
+	}
+	p := len(data)
+	if len(out) != p {
+		return st, fmt.Errorf("comm: chunked alltoall has %d output ranks, want %d", len(out), p)
+	}
+	for r := range out {
+		if len(out[r]) != b*p {
+			return st, fmt.Errorf("comm: output rank %d has %d elements, want %d", r, len(out[r]), b*p)
+		}
+	}
+	if rr.Lo < 0 || rr.Hi < rr.Lo || rr.Hi > dims.Rows {
+		return st, fmt.Errorf("comm: row range [%d,%d) outside block of %d rows", rr.Lo, rr.Hi, dims.Rows)
+	}
+	rows := rr.Len()
+	if rows == 0 {
+		return st, nil
+	}
+	w := dims.Width
+	sub := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		sub[r] = make([]float64, rows*w*p)
+		for d := 0; d < p; d++ {
+			src := data[r][d*b+rr.Lo*w : d*b+rr.Hi*w]
+			copy(sub[r][d*rows*w:(d+1)*rows*w], src)
+		}
+	}
+	res, st, err := AlltoAll(algo, sub, gpusPerNode)
+	if err != nil {
+		return st, err
+	}
+	for d := 0; d < p; d++ {
+		for s := 0; s < p; s++ {
+			copy(out[d][s*b+rr.Lo*w:s*b+rr.Hi*w], res[d][s*rows*w:(s+1)*rows*w])
+		}
+	}
+	return st, nil
+}
+
+// ChunkedAlltoAll splits each destination block's token rows into chunks
+// contiguous ranges and performs one AlltoAll per chunk. The reassembled
+// output and the summed Stats are byte-identical in content to the
+// monolithic AlltoAll(algo, data, gpusPerNode); onChunk, when non-nil, is
+// invoked after each chunk completes with its range — the per-chunk
+// completion hook pipelined consumers build on.
+func ChunkedAlltoAll(algo A2AAlgo, data [][]float64, gpusPerNode int, dims BlockDims, chunks int, onChunk func(c int, rr RowRange)) ([][]float64, Stats, error) {
+	var st Stats
+	b, err := dims.validate(data)
+	if err != nil {
+		return nil, st, err
+	}
+	p := len(data)
+	out := make([][]float64, p)
+	for d := 0; d < p; d++ {
+		out[d] = make([]float64, b*p)
+	}
+	for c, rr := range SplitRows(dims.Rows, chunks) {
+		cst, err := AlltoAllRows(algo, data, out, gpusPerNode, dims, rr)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Merge(cst)
+		if onChunk != nil {
+			onChunk(c, rr)
+		}
+	}
+	return out, st, nil
+}
+
+// AsyncA2A is an in-flight chunked AlltoAll. Chunks complete in order;
+// ChunkDone(c) unblocks as soon as chunk c's rows have landed in the
+// output buffer — or as soon as the collective fails, so consumers never
+// hang. After a ChunkDone unblocks, Landed(c) distinguishes "rows are
+// valid" from "the collective aborted first"; Wait blocks for the whole
+// collective and reports the error.
+type AsyncA2A struct {
+	ranges []RowRange
+	done   []chan struct{}
+	landed atomic.Int32 // chunks whose rows are valid in out
+	out    [][]float64
+	stats  Stats
+	err    error
+	fin    chan struct{}
+}
+
+// Chunks returns the number of chunks (≤ the requested degree when blocks
+// are short) and Range the row range of chunk c.
+func (a *AsyncA2A) Chunks() int                     { return len(a.ranges) }
+func (a *AsyncA2A) Range(c int) RowRange            { return a.ranges[c] }
+func (a *AsyncA2A) ChunkDone(c int) <-chan struct{} { return a.done[c] }
+
+// Out returns the per-rank output buffers. The rows of chunk c are valid
+// once ChunkDone(c) has unblocked with Landed(c) true — this is what lets
+// a consumer start computing on chunk c while chunk c+1 is still in
+// flight. The full buffer is valid after Wait.
+func (a *AsyncA2A) Out() [][]float64 { return a.out }
+
+// Landed reports whether chunk c's rows are valid in the output buffer.
+// Meaningful once ChunkDone(c) has unblocked: false there means the
+// collective failed before chunk c moved.
+func (a *AsyncA2A) Landed(c int) bool { return int(a.landed.Load()) > c }
+
+// Wait blocks until every chunk has completed and returns the reassembled
+// per-rank buffers (byte-identical to the monolithic AlltoAll), the summed
+// Stats, and the first error.
+func (a *AsyncA2A) Wait() ([][]float64, Stats, error) {
+	<-a.fin
+	return a.out, a.stats, a.err
+}
+
+// AlltoAllAsync validates the layout synchronously, then starts a chunked
+// AlltoAll on a background goroutine and returns with per-chunk
+// completion channels; Out()'s chunk-c rows are readable as soon as
+// ChunkDone(c) unblocks. The caller must not mutate data until Wait
+// returns.
+func AlltoAllAsync(algo A2AAlgo, data [][]float64, gpusPerNode int, dims BlockDims, chunks int) (*AsyncA2A, error) {
+	b, err := dims.validate(data)
+	if err != nil {
+		return nil, err
+	}
+	ranges := SplitRows(dims.Rows, chunks)
+	a := &AsyncA2A{ranges: ranges, fin: make(chan struct{})}
+	a.done = make([]chan struct{}, len(ranges))
+	for c := range a.done {
+		a.done[c] = make(chan struct{})
+	}
+	p := len(data)
+	a.out = make([][]float64, p)
+	for d := 0; d < p; d++ {
+		a.out[d] = make([]float64, b*p)
+	}
+	go func() {
+		defer close(a.fin)
+		completed := 0
+		for c, rr := range ranges {
+			cst, cerr := AlltoAllRows(algo, data, a.out, gpusPerNode, dims, rr)
+			if cerr != nil {
+				a.err = cerr
+				break
+			}
+			a.stats.Merge(cst)
+			a.landed.Store(int32(c + 1))
+			close(a.done[c])
+			completed = c + 1
+		}
+		// Failure: unblock the remaining waiters (Landed stays false for
+		// these chunks) so nobody hangs on a chunk that will never move.
+		for c := completed; c < len(a.done); c++ {
+			close(a.done[c])
+		}
+	}()
+	return a, nil
+}

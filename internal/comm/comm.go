@@ -30,6 +30,15 @@ type Stats struct {
 	InterVolume   float64 // elements moved inter-node
 }
 
+// Merge accumulates another run's traffic into s (chunked collectives sum
+// their per-chunk stats this way).
+func (s *Stats) Merge(o Stats) {
+	s.IntraMessages += o.IntraMessages
+	s.InterMessages += o.InterMessages
+	s.IntraVolume += o.IntraVolume
+	s.InterVolume += o.InterVolume
+}
+
 func (s *Stats) add(sameNode bool, n int) {
 	if sameNode {
 		s.IntraMessages++

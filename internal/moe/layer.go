@@ -118,9 +118,20 @@ func (l *MOELayer) Params() []*Param {
 // ZeroGrad clears every parameter gradient.
 func (l *MOELayer) ZeroGrad() { zeroGrads(l.Params()) }
 
-// Forward runs the layer on x, shaped (B, L, M) or (N, M). train enables
-// training-only gate behaviour.
-func (l *MOELayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *LayerCache, error) {
+// forwardProlog is the gate/order stage every forward pass — sequential or
+// multi-rank — runs exactly once before any dispatch chunk moves (§4.1's
+// "gate and order, then pipeline").
+type forwardProlog struct {
+	shape     []int          // original input shape
+	flat      *tensor.Tensor // (N, M)
+	plan      *DispatchPlan
+	rc        *RouteCache
+	scattered *tensor.Tensor // (E, T, M)
+}
+
+// prolog flattens and validates the input, routes it, and materializes the
+// expert-major layout. Hooks up to BeforeDispatch are applied.
+func (l *MOELayer) prolog(x *tensor.Tensor, train bool) (*forwardProlog, error) {
 	shape := append([]int(nil), x.Shape()...)
 	var flat *tensor.Tensor
 	switch x.Rank() {
@@ -129,28 +140,50 @@ func (l *MOELayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *Layer
 	case 3:
 		flat = x.Reshape(x.Dim(0)*x.Dim(1), x.Dim(2))
 	default:
-		return nil, nil, fmt.Errorf("moe: input must be (B,L,M) or (N,M), got %v", x.Shape())
+		return nil, fmt.Errorf("moe: input must be (B,L,M) or (N,M), got %v", x.Shape())
 	}
 	if flat.Dim(1) != l.cfg.M {
-		return nil, nil, fmt.Errorf("moe: input embedding %d, want %d", flat.Dim(1), l.cfg.M)
+		return nil, fmt.Errorf("moe: input embedding %d, want %d", flat.Dim(1), l.cfg.M)
 	}
 	flat = l.hooks.beforeMoeStart(flat)
 	n := flat.Dim(0)
 
 	plan, rc, err := l.cfg.Gate.Route(flat, train)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if plan.Experts != len(l.cfg.Experts) {
-		return nil, nil, fmt.Errorf("moe: gate routed to %d experts but layer has %d", plan.Experts, len(l.cfg.Experts))
+		return nil, fmt.Errorf("moe: gate routed to %d experts but layer has %d", plan.Experts, len(l.cfg.Experts))
 	}
 	if err := plan.Validate(n); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	scattered := l.cfg.Order.Scatter(flat, plan) // (E, T, M)
 	scattered = l.hooks.beforeDispatch(scattered)
-	dispatched := l.disp.Dispatch(scattered)
+	return &forwardProlog{shape: shape, flat: flat, plan: plan, rc: rc, scattered: scattered}, nil
+}
+
+// epilog is the I-Order stage after the combine: gather the expert outputs
+// back to token order and restore the caller's shape.
+func (l *MOELayer) epilog(combined *tensor.Tensor, plan *DispatchPlan, tokens int, shape []int) *tensor.Tensor {
+	y := l.cfg.Order.Gather(combined, plan, tokens)
+	y = l.hooks.beforeMoeEnd(y)
+	if len(shape) == 3 {
+		y = y.Reshape(shape...)
+	}
+	return y
+}
+
+// Forward runs the layer on x, shaped (B, L, M) or (N, M). train enables
+// training-only gate behaviour.
+func (l *MOELayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *LayerCache, error) {
+	pr, err := l.prolog(x, train)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, shape := pr.plan, pr.shape
+	dispatched := l.disp.Dispatch(pr.scattered)
 	dispatched = l.hooks.afterDispatch(dispatched)
 
 	// Experts run concurrently on the shared worker pool, each reading and
@@ -176,21 +209,17 @@ func (l *MOELayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *Layer
 	combined := l.disp.Combine(combinedIn)
 	combined = l.hooks.afterCombine(combined)
 
-	y := l.cfg.Order.Gather(combined, plan, n)
-	y = l.hooks.beforeMoeEnd(y)
+	y := l.epilog(combined, plan, pr.flat.Dim(0), shape)
 
 	cache := &LayerCache{
 		shape:     shape,
-		x:         flat,
-		routeC:    rc,
+		x:         pr.flat,
+		routeC:    pr.rc,
 		plan:      plan,
 		dispatchd: dispatched,
 		expertOut: combined,
 		expCaches: caches,
 		train:     train,
-	}
-	if len(shape) == 3 {
-		y = y.Reshape(shape...)
 	}
 	return y, cache, nil
 }
@@ -205,21 +234,13 @@ func (l *MOELayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *Layer
 // piecewise constant, so its "gradient" is zero almost everywhere, exactly
 // as in the PyTorch implementations the paper builds on.
 func (l *MOELayer) Backward(cache *LayerCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
-	var dflat *tensor.Tensor
-	switch dy.Rank() {
-	case 2:
-		dflat = dy
-	case 3:
-		dflat = dy.Reshape(dy.Dim(0)*dy.Dim(1), dy.Dim(2))
-	default:
-		return nil, fmt.Errorf("moe: dy must be (B,L,M) or (N,M), got %v", dy.Shape())
-	}
-	plan := cache.plan
-	n := cache.x.Dim(0)
-
 	// Through Gather (I-Order): gradient of expert outputs and of the
 	// combine weights.
-	dExpertOut, planGrad := l.cfg.Order.GatherGrad(dflat, cache.expertOut, plan)
+	dExpertOut, planGrad, err := l.backwardProlog(cache.expertOut, cache.plan, dy)
+	if err != nil {
+		return nil, err
+	}
+	plan := cache.plan
 
 	// Through Combine (adjoint of the collective).
 	dExpertOut = l.disp.CombineGrad(dExpertOut)
@@ -242,22 +263,44 @@ func (l *MOELayer) Backward(cache *LayerCache, dy *tensor.Tensor) (*tensor.Tenso
 	// Through Dispatch.
 	dScattered := l.disp.DispatchGrad(dDispatched)
 
-	// Through Scatter (Order) back to tokens.
-	dx := l.cfg.Order.ScatterGrad(dScattered, plan, n)
+	return l.backwardFinish(dScattered, planGrad, cache.x, cache.routeC, plan, cache.shape), nil
+}
+
+// backwardProlog is the shared entry of every backward pass: flatten dy
+// and differentiate through Gather (I-Order).
+func (l *MOELayer) backwardProlog(expertOut *tensor.Tensor, plan *DispatchPlan, dy *tensor.Tensor) (*tensor.Tensor, *PlanGrad, error) {
+	var dflat *tensor.Tensor
+	switch dy.Rank() {
+	case 2:
+		dflat = dy
+	case 3:
+		dflat = dy.Reshape(dy.Dim(0)*dy.Dim(1), dy.Dim(2))
+	default:
+		return nil, nil, fmt.Errorf("moe: dy must be (B,L,M) or (N,M), got %v", dy.Shape())
+	}
+	dExpertOut, planGrad := l.cfg.Order.GatherGrad(dflat, expertOut, plan)
+	return dExpertOut, planGrad, nil
+}
+
+// backwardFinish is the shared exit of every backward pass: differentiate
+// through Scatter (Order) back to tokens, feed the routing gradients to
+// the gate, and restore the caller's shape.
+func (l *MOELayer) backwardFinish(dScattered *tensor.Tensor, planGrad *PlanGrad, x *tensor.Tensor, rc *RouteCache, plan *DispatchPlan, shape []int) *tensor.Tensor {
+	dx := l.cfg.Order.ScatterGrad(dScattered, plan, x.Dim(0))
 
 	// Dense plans additionally need the dispatch-weight gradient
 	// dD = dScattered_flat · xᵀ for the gate's backward.
 	if plan.IsDense() {
 		flatD := dScattered.Reshape(plan.Slots(), l.cfg.M)
-		planGrad.DispatchW = tensor.MatMulT2(flatD, cache.x)
+		planGrad.DispatchW = tensor.MatMulT2(flatD, x)
 	}
 
 	// Routing path into the gate.
-	dxGate := l.cfg.Gate.Backward(cache.routeC, planGrad)
+	dxGate := l.cfg.Gate.Backward(rc, planGrad)
 	tensor.AddInPlace(dx, dxGate)
 
-	if len(cache.shape) == 3 {
-		dx = dx.Reshape(cache.shape...)
+	if len(shape) == 3 {
+		dx = dx.Reshape(shape...)
 	}
-	return dx, nil
+	return dx
 }

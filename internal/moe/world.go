@@ -1,0 +1,649 @@
+package moe
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// World executes one MOELayer expert-parallel across R in-process ranks
+// over real comm AlltoAll collectives, with the dispatch and combine
+// split into r token chunks and driven through the stream runtime — the
+// executable counterpart of the schedules internal/core builds for the
+// simulator (§4.1).
+//
+// Data layout: the gate and order run once on the global batch (they are
+// replicated in expert-parallel training); the resulting (E, T, M)
+// expert-major tensor is sharded by slot rows — rank i owns rows
+// [i·S, (i+1)·S) of every expert's block, S = ⌈T/R⌉ — and experts are
+// sharded by index — rank j owns experts [j·E/R, (j+1)·E/R). The dispatch
+// AlltoAll therefore moves rank i's slot rows for expert group j to rank
+// j; because the AlltoAll orders arrivals by source rank and the shards
+// are contiguous row ranges, every expert sees exactly the rows of the
+// single-rank layer in the same order, making the whole pass bit-identical
+// to MOELayer.Forward/Backward at any (R, r).
+//
+// Streams: one global "inter" stream serializes the AlltoAll chunk
+// collectives (the NIC of Figs. 3–4); each rank owns an "intra:<rank>"
+// stream for local (un)packing between the wire layout and the expert
+// blocks and a "compute:<rank>" stream for expert math. Expert chunk c
+// can compute while chunk c+1 is on the wire — measured, not simulated.
+type World struct {
+	layer   *MOELayer
+	cfg     WorldConfig
+	egrp    int  // experts per rank
+	chunked bool // every expert implements ChunkedExpert
+
+	seq      bool // execute plans sequentially (no-overlap baseline)
+	stats    comm.Stats
+	lastPlan *runtime.Plan
+	lastTr   *sim.Trace
+}
+
+// WorldConfig configures multi-rank execution.
+type WorldConfig struct {
+	Ranks       int          // R; the layer's experts are sharded E/R per rank
+	ChunksFwd   int          // forward pipeline degree r (<1 means 1)
+	ChunksBwd   int          // backward pipeline degree (<1 means ChunksFwd)
+	Algo        comm.A2AAlgo // AlltoAll algorithm (default Direct)
+	GPUsPerNode int          // node shape for 1DH/2DH and Stats (default Ranks)
+}
+
+func (c WorldConfig) withDefaults() WorldConfig {
+	if c.ChunksFwd < 1 {
+		c.ChunksFwd = 1
+	}
+	if c.ChunksBwd < 1 {
+		c.ChunksBwd = c.ChunksFwd
+	}
+	if c.Algo == "" {
+		c.Algo = comm.A2ADirect
+	}
+	if c.GPUsPerNode <= 0 {
+		c.GPUsPerNode = c.Ranks
+	}
+	return c
+}
+
+// NewWorld validates the pairing of a layer and a world configuration.
+func NewWorld(layer *MOELayer, cfg WorldConfig) (*World, error) {
+	if layer == nil {
+		return nil, fmt.Errorf("moe: world needs a layer")
+	}
+	cfg = cfg.withDefaults()
+	e := len(layer.cfg.Experts)
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("moe: world needs at least one rank, got %d", cfg.Ranks)
+	}
+	if e%cfg.Ranks != 0 {
+		return nil, fmt.Errorf("moe: %d experts not divisible across %d ranks", e, cfg.Ranks)
+	}
+	if cfg.Ranks%cfg.GPUsPerNode != 0 {
+		return nil, fmt.Errorf("moe: %d ranks not divisible into nodes of %d", cfg.Ranks, cfg.GPUsPerNode)
+	}
+	switch cfg.Algo {
+	case comm.A2ADirect, comm.A2A1DH, comm.A2A2DH:
+	default:
+		// Fail fast: Plan.Execute drains every task even after an error, so
+		// a bad algorithm discovered mid-plan would run the whole pipeline
+		// on zeroed buffers first.
+		return nil, fmt.Errorf("moe: unknown alltoall algorithm %q (valid: %s, %s, %s)",
+			cfg.Algo, comm.A2ADirect, comm.A2A1DH, comm.A2A2DH)
+	}
+	if len(layer.cfg.Hooks) > 0 {
+		return nil, fmt.Errorf("moe: world does not support layer hooks (they wrap the monolithic dispatch)")
+	}
+	if _, ok := layer.disp.(LocalDispatcher); !ok {
+		return nil, fmt.Errorf("moe: world replaces the layer dispatcher with real chunked AlltoAll; custom dispatcher %T would be bypassed", layer.disp)
+	}
+	if layer.seqExperts {
+		return nil, fmt.Errorf("moe: world requires provably distinct expert instances (aliased experts cannot be sharded)")
+	}
+	chunked := true
+	for _, ex := range layer.cfg.Experts {
+		if _, ok := ex.(ChunkedExpert); !ok {
+			chunked = false
+			break
+		}
+	}
+	return &World{layer: layer, cfg: cfg, egrp: e / cfg.Ranks, chunked: chunked}, nil
+}
+
+// Ranks returns R and Chunked whether the chunk-granular expert path is in
+// effect (false falls back to whole-block expert compute per rank, with
+// the communication still chunked).
+func (w *World) Ranks() int    { return w.cfg.Ranks }
+func (w *World) Chunked() bool { return w.chunked }
+
+// Degrees returns the configured forward and backward pipeline degrees.
+func (w *World) Degrees() (fwd, bwd int) { return w.cfg.ChunksFwd, w.cfg.ChunksBwd }
+
+// SetSequential switches plan execution to the single-goroutine,
+// no-overlap baseline (true) or the pipelined stream executor (false).
+// Results are identical either way; only the wall-clock differs.
+func (w *World) SetSequential(seq bool) { w.seq = seq }
+
+// Stats returns the cumulative AlltoAll traffic of every pass so far.
+func (w *World) Stats() comm.Stats { return w.stats }
+
+// LastPlan and LastTrace return the stream plan and measured trace of the
+// most recent pass — LastPlan.SimulateWith(runtime.Durations(LastTrace()))
+// predicts the pipelined makespan from sequential measurements.
+func (w *World) LastPlan() *runtime.Plan { return w.lastPlan }
+func (w *World) LastTrace() *sim.Trace   { return w.lastTr }
+
+// WorldCache carries a forward pass's state to Backward.
+type WorldCache struct {
+	pr         *forwardProlog
+	spad, tpad int
+	xBlocks    []*tensor.Tensor // per rank (Eg, Tpad, M) expert inputs
+	outBlocks  []*tensor.Tensor // per rank (Eg, Tpad, M) expert outputs
+	ccs        [][]ChunkedCache // [rank][local expert], chunked mode
+	expCaches  [][]ExpertCache  // [rank][local expert], fallback mode
+	combined   *tensor.Tensor   // (E, T, M), the sequential layer's expertOut
+}
+
+// Task kinds in the trace breakdown, matching internal/core's Table 2
+// vocabulary where the operations coincide.
+const (
+	KindA2A    = "AlltoAll"
+	KindExpert = "Experts"
+	KindPack   = "Pack" // wire-layout (un)packing, the local Order work
+)
+
+// streams for rank r.
+func intraStream(r int) string   { return fmt.Sprintf("intra:%d", r) }
+func computeStream(r int) string { return fmt.Sprintf("compute:%d", r) }
+
+// wireOff is the offset of (t, el, m) inside one (S rows × Eg·M wide)
+// wire block.
+func wireOff(t, el, m, eg, mdim int) int { return (t*eg+el)*mdim + m }
+
+// xferGlobal copies chunk rows [rr.Lo, rr.Hi) of token-side rank i's slot
+// shard between the padded global (E, Tpad, M) expert-major buffer and
+// rank i's wire buffer, whose per-peer blocks are keyed by expert group.
+// toWire selects the direction. Every forward/backward pack stage on the
+// token side is this one loop, so wire-layout fixes cannot drift between
+// the passes.
+func xferGlobal(wire, global []float64, ranks, eg, mdim, spad, tpad, i int, rr comm.RowRange, toWire bool) {
+	blk := spad * eg * mdim
+	for p := 0; p < ranks; p++ {
+		wb := wire[p*blk : (p+1)*blk]
+		for el := 0; el < eg; el++ {
+			e := p*eg + el
+			for t := rr.Lo; t < rr.Hi; t++ {
+				woff := wireOff(t, el, 0, eg, mdim)
+				goff := (e*tpad + i*spad + t) * mdim
+				if toWire {
+					copy(wb[woff:woff+mdim], global[goff:goff+mdim])
+				} else {
+					copy(global[goff:goff+mdim], wb[woff:woff+mdim])
+				}
+			}
+		}
+	}
+}
+
+// xferLocal copies chunk rows between expert-side rank j's (Eg, Tpad, M)
+// block and rank j's wire buffer, whose per-peer blocks are keyed by the
+// token-side rank that owns each row segment.
+func xferLocal(wire, block []float64, ranks, eg, mdim, spad, tpad int, rr comm.RowRange, toWire bool) {
+	blk := spad * eg * mdim
+	for i := 0; i < ranks; i++ {
+		wb := wire[i*blk : (i+1)*blk]
+		for el := 0; el < eg; el++ {
+			for t := rr.Lo; t < rr.Hi; t++ {
+				woff := wireOff(t, el, 0, eg, mdim)
+				boff := (el*tpad + i*spad + t) * mdim
+				if toWire {
+					copy(wb[woff:woff+mdim], block[boff:boff+mdim])
+				} else {
+					copy(block[boff:boff+mdim], wb[woff:woff+mdim])
+				}
+			}
+		}
+	}
+}
+
+// run executes a plan under the current mode, records it, and returns the
+// first task error.
+func (w *World) run(p *runtime.Plan) error {
+	var tr *sim.Trace
+	var err error
+	if w.seq {
+		tr, err = p.ExecuteSequential()
+	} else {
+		tr, err = p.Execute()
+	}
+	w.lastPlan, w.lastTr = p, tr
+	return err
+}
+
+// Forward runs the pipelined multi-rank forward pass. Results are
+// bit-identical to MOELayer.Forward on the same layer and input.
+func (w *World) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *WorldCache, error) {
+	pr, err := w.layer.prolog(x, train)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pr.plan.IsDense() {
+		return nil, nil, fmt.Errorf("moe: world supports hard routing only (dense SoftMoE plans have no token dimension to chunk)")
+	}
+	R, eg, mdim := w.cfg.Ranks, w.egrp, w.layer.cfg.M
+	plan := pr.plan
+	t := plan.Capacity
+	spad := (t + R - 1) / R
+	tpad := spad * R
+	ranges := comm.SplitRows(spad, w.cfg.ChunksFwd)
+	dims := comm.BlockDims{Rows: spad, Width: eg * mdim}
+	blk := dims.Elems()
+
+	// Wire and block buffers.
+	send := wireBuffers(R, R*blk)
+	recv := wireBuffers(R, R*blk)
+	csend := wireBuffers(R, R*blk)
+	crecv := wireBuffers(R, R*blk)
+	cache := &WorldCache{pr: pr, spad: spad, tpad: tpad}
+	cache.xBlocks = rankBlocks(R, eg, tpad, mdim)
+	cache.outBlocks = rankBlocks(R, eg, tpad, mdim)
+	combinedPad := tensor.New(plan.Experts, tpad, mdim)
+
+	// Per-expert chunk caches (chunked mode) span the full padded block.
+	if w.chunked {
+		cache.ccs = make([][]ChunkedCache, R)
+		for j := 0; j < R; j++ {
+			cache.ccs[j] = make([]ChunkedCache, eg)
+			for el := 0; el < eg; el++ {
+				cache.ccs[j][el] = w.expert(j, el).(ChunkedExpert).BeginChunked(
+					expertView(cache.xBlocks[j], el, tpad, mdim),
+					expertView(cache.outBlocks[j], el, tpad, mdim))
+			}
+		}
+	} else {
+		cache.expCaches = make([][]ExpertCache, R)
+		for j := 0; j < R; j++ {
+			cache.expCaches[j] = make([]ExpertCache, eg)
+		}
+	}
+
+	// Padding the scattered tensor once up front lets every wire transfer
+	// share the two xfer helpers (pad rows are exact zeros throughout).
+	scatPad := padBlocks(pr.scattered, plan.Experts, t, tpad, mdim).Data()
+	p := runtime.NewPlan()
+
+	// Phase 1 — pack + dispatch for every chunk. Enqueueing all dispatch
+	// collectives before any combine keeps the inter stream issuing them
+	// back to back (the Fig. 3c/d ordering core.buildForwardLayer uses):
+	// chunk c+1 is on the wire while chunk c computes, which is the whole
+	// point of the pipeline. Interleaving D and C per chunk would serialize
+	// D[c+1] behind C[c] — and C[c] waits on expert chunk c.
+	dispIDs := make([]int, len(ranges))
+	for c, rr := range ranges {
+		rr := rr
+		packIDs := make([]int, R)
+		for i := 0; i < R; i++ {
+			i := i
+			packIDs[i] = p.Add(fmt.Sprintf("P%d[%d]", c, i), KindPack, intraStream(i),
+				estElems(R*eg*rr.Len()*mdim), func() error {
+					xferGlobal(send[i], scatPad, R, eg, mdim, spad, tpad, i, rr, true)
+					return nil
+				})
+		}
+		dispIDs[c] = p.Add(fmt.Sprintf("D[%d]", c), KindA2A, "inter",
+			estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(send, recv, dims, rr), packIDs...)
+	}
+
+	// Phase 2 — unpack + expert compute per chunk. expTask[c][j] is the
+	// task the chunk's combine pack on rank j must wait for.
+	expTask := w.emitForwardExperts(p, cache, recv, dispIDs, ranges)
+
+	// Phase 3 — combine every chunk back to the token side.
+	for c, rr := range ranges {
+		w.emitCombine(p, cache, combinedPad, csend, crecv, dims, rr, c, expTask[c])
+	}
+	if err := w.run(p); err != nil {
+		return nil, nil, err
+	}
+
+	cache.combined = unpadBlocks(combinedPad, plan.Experts, t, tpad, mdim)
+	y := w.layer.epilog(cache.combined, plan, pr.flat.Dim(0), pr.shape)
+	return y, cache, nil
+}
+
+// emitForwardExperts adds phase 2 of the forward plan: per-chunk unpack of
+// the dispatch arrivals into the expert blocks and the expert compute on
+// them. It returns expTask[c][j], the task id chunk c's combine pack on
+// rank j depends on. Chunk-capable experts compute per chunk; fallback
+// experts compute the whole block once every chunk has landed (so every
+// expTask[c][j] is the same whole-block task).
+func (w *World) emitForwardExperts(p *runtime.Plan, cache *WorldCache, recv [][]float64, dispIDs []int, ranges []comm.RowRange) [][]int {
+	R, eg, mdim := w.cfg.Ranks, w.egrp, w.layer.cfg.M
+	spad, tpad := cache.spad, cache.tpad
+	expTask := make([][]int, len(ranges))
+	for c := range expTask {
+		expTask[c] = make([]int, R)
+	}
+	unpackDeps := make([][]int, R) // fallback mode: all unpack ids per rank
+	for c, rr := range ranges {
+		rr := rr
+		for j := 0; j < R; j++ {
+			j := j
+			unpack := p.Add(fmt.Sprintf("U%d[%d]", c, j), KindPack, intraStream(j),
+				estElems(R*eg*rr.Len()*mdim), func() error {
+					xferLocal(recv[j], cache.xBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, false)
+					return nil
+				}, dispIDs[c])
+			if !w.chunked {
+				unpackDeps[j] = append(unpackDeps[j], unpack)
+				continue
+			}
+			expTask[c][j] = p.Add(fmt.Sprintf("E%d[%d]", c, j), KindExpert, computeStream(j),
+				w.expertEst(j, rr.Len()*R), func() error {
+					for el := 0; el < eg; el++ {
+						cc := cache.ccs[j][el]
+						ce := w.expert(j, el).(ChunkedExpert)
+						for i := 0; i < R; i++ {
+							ce.ForwardChunk(cc, i*spad+rr.Lo, i*spad+rr.Hi)
+						}
+					}
+					return nil
+				}, unpack)
+		}
+	}
+	if !w.chunked {
+		for j := 0; j < R; j++ {
+			j := j
+			id := p.Add(fmt.Sprintf("E[%d]", j), KindExpert, computeStream(j),
+				w.expertEst(j, tpad), func() error {
+					for el := 0; el < eg; el++ {
+						in := expertView(cache.xBlocks[j], el, tpad, mdim)
+						out := expertView(cache.outBlocks[j], el, tpad, mdim)
+						ex := w.expert(j, el)
+						if ie, ok := ex.(IntoExpert); ok {
+							cache.expCaches[j][el] = ie.ForwardInto(in, out)
+							continue
+						}
+						y, ec := ex.Forward(in)
+						cache.expCaches[j][el] = ec
+						copy(out.Data(), y.Data())
+					}
+					return nil
+				}, unpackDeps[j]...)
+			for c := range expTask {
+				expTask[c][j] = id
+			}
+		}
+	}
+	return expTask
+}
+
+// emitCombine adds the combine-side tasks for chunk c: per-rank pack of
+// the expert outputs into wire order (behind that rank's expert task for
+// the chunk), the chunk's combine AlltoAll on the shared inter stream, and
+// per-rank landing of the arrivals in the global padded combine buffer.
+func (w *World) emitCombine(p *runtime.Plan, cache *WorldCache, combinedPad *tensor.Tensor,
+	csend, crecv [][]float64, dims comm.BlockDims, rr comm.RowRange, c int, expDone []int) {
+	R, eg, mdim := w.cfg.Ranks, w.egrp, w.layer.cfg.M
+	spad, tpad := cache.spad, cache.tpad
+	packIDs := make([]int, R)
+	for j := 0; j < R; j++ {
+		j := j
+		packIDs[j] = p.Add(fmt.Sprintf("R%d[%d]", c, j), KindPack, intraStream(j),
+			estElems(R*eg*rr.Len()*mdim), func() error {
+				xferLocal(csend[j], cache.outBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, true)
+				return nil
+			}, expDone[j])
+	}
+	comb := p.Add(fmt.Sprintf("C[%d]", c), KindA2A, "inter",
+		estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(csend, crecv, dims, rr), packIDs...)
+	for i := 0; i < R; i++ {
+		i := i
+		p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
+			estElems(R*eg*rr.Len()*mdim), func() error {
+				xferGlobal(crecv[i], combinedPad.Data(), R, eg, mdim, spad, tpad, i, rr, false)
+				return nil
+			}, comb)
+	}
+}
+
+// Backward runs the pipelined multi-rank backward pass, accumulating the
+// same parameter gradients and returning the same input gradient as
+// MOELayer.Backward.
+func (w *World) Backward(cache *WorldCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if cache == nil || cache.combined == nil {
+		return nil, fmt.Errorf("moe: world backward needs a forward cache")
+	}
+	pr := cache.pr
+	plan := pr.plan
+	dExpertOut, planGrad, err := w.layer.backwardProlog(cache.combined, plan, dy)
+	if err != nil {
+		return nil, err
+	}
+	R, eg, mdim := w.cfg.Ranks, w.egrp, w.layer.cfg.M
+	t := plan.Capacity
+	spad, tpad := cache.spad, cache.tpad
+	ranges := comm.SplitRows(spad, w.cfg.ChunksBwd)
+	dims := comm.BlockDims{Rows: spad, Width: eg * mdim}
+	blk := dims.Elems()
+
+	dpad := padBlocks(dExpertOut, plan.Experts, t, tpad, mdim)
+	dyBlocks := rankBlocks(R, eg, tpad, mdim)
+	dxBlocks := rankBlocks(R, eg, tpad, mdim)
+	dScatteredPad := tensor.New(plan.Experts, tpad, mdim)
+	gsend := wireBuffers(R, R*blk)
+	grecv := wireBuffers(R, R*blk)
+	dsend := wireBuffers(R, R*blk)
+	drecv := wireBuffers(R, R*blk)
+
+	dpd := dpad.Data()
+	p := runtime.NewPlan()
+
+	// Phase 1 — pack + combine-gradient AlltoAll for every chunk (the
+	// adjoint of the forward combine), issued back to back on the inter
+	// stream like the forward dispatches: the same Fig. 3c/d ordering,
+	// here "all C, then all D", matching core.buildBackwardLayer.
+	combIDs := make([]int, len(ranges))
+	for c, rr := range ranges {
+		rr := rr
+		packIDs := make([]int, R)
+		for i := 0; i < R; i++ {
+			i := i
+			packIDs[i] = p.Add(fmt.Sprintf("P%d[%d]", c, i), KindPack, intraStream(i),
+				estElems(R*eg*rr.Len()*mdim), func() error {
+					xferGlobal(gsend[i], dpd, R, eg, mdim, spad, tpad, i, rr, true)
+					return nil
+				})
+		}
+		combIDs[c] = p.Add(fmt.Sprintf("C[%d]", c), KindA2A, "inter",
+			estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(gsend, grecv, dims, rr), packIDs...)
+	}
+
+	// Phase 2 — unpack + expert backward per chunk (dX rows only; weight
+	// gradients wait for phase 4).
+	expTask := make([][]int, len(ranges))
+	for c := range expTask {
+		expTask[c] = make([]int, R)
+	}
+	unpackDeps := make([][]int, R) // fallback mode
+	for c, rr := range ranges {
+		rr := rr
+		for j := 0; j < R; j++ {
+			j := j
+			unpack := p.Add(fmt.Sprintf("U%d[%d]", c, j), KindPack, intraStream(j),
+				estElems(R*eg*rr.Len()*mdim), func() error {
+					xferLocal(grecv[j], dyBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, false)
+					return nil
+				}, combIDs[c])
+			if !w.chunked {
+				unpackDeps[j] = append(unpackDeps[j], unpack)
+				continue
+			}
+			expTask[c][j] = p.Add(fmt.Sprintf("E%d[%d]", c, j), KindExpert, computeStream(j),
+				w.expertEst(j, 2*rr.Len()*R), func() error {
+					for el := 0; el < eg; el++ {
+						ce := w.expert(j, el).(ChunkedExpert)
+						dyv := expertView(dyBlocks[j], el, tpad, mdim)
+						dxv := expertView(dxBlocks[j], el, tpad, mdim)
+						for i := 0; i < R; i++ {
+							ce.BackwardChunk(cache.ccs[j][el], dyv, dxv, i*spad+rr.Lo, i*spad+rr.Hi)
+						}
+					}
+					return nil
+				}, unpack)
+		}
+	}
+	if !w.chunked {
+		for j := 0; j < R; j++ {
+			j := j
+			id := p.Add(fmt.Sprintf("E[%d]", j), KindExpert, computeStream(j),
+				w.expertEst(j, 2*tpad), func() error {
+					for el := 0; el < eg; el++ {
+						ex := w.expert(j, el)
+						dyv := expertView(dyBlocks[j], el, tpad, mdim)
+						dxv := expertView(dxBlocks[j], el, tpad, mdim)
+						if ie, ok := ex.(IntoExpert); ok {
+							ie.BackwardInto(cache.expCaches[j][el], dyv, dxv)
+							continue
+						}
+						dxe := ex.Backward(cache.expCaches[j][el], dyv)
+						copy(dxv.Data(), dxe.Data())
+					}
+					return nil
+				}, unpackDeps[j]...)
+			for c := range expTask {
+				expTask[c][j] = id
+			}
+		}
+	}
+
+	// Phase 3 — dX pack + dispatch-gradient AlltoAll + landing per chunk.
+	for c, rr := range ranges {
+		rr := rr
+		dgPackIDs := make([]int, R)
+		for j := 0; j < R; j++ {
+			j := j
+			dgPackIDs[j] = p.Add(fmt.Sprintf("R%d[%d]", c, j), KindPack, intraStream(j),
+				estElems(R*eg*rr.Len()*mdim), func() error {
+					xferLocal(dsend[j], dxBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, true)
+					return nil
+				}, expTask[c][j])
+		}
+		dgrad := p.Add(fmt.Sprintf("D[%d]", c), KindA2A, "inter",
+			estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(dsend, drecv, dims, rr), dgPackIDs...)
+		for i := 0; i < R; i++ {
+			i := i
+			p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
+				estElems(R*eg*rr.Len()*mdim), func() error {
+					xferGlobal(drecv[i], dScatteredPad.Data(), R, eg, mdim, spad, tpad, i, rr, false)
+					return nil
+				}, dgrad)
+		}
+	}
+
+	// Phase 4 — deferred full-block parameter-gradient reductions, off the
+	// communication critical path (§4.1's W-grad tasks). The last expert
+	// chunk on a rank implies every earlier one (stream order).
+	if w.chunked {
+		for j := 0; j < R; j++ {
+			j := j
+			p.Add(fmt.Sprintf("W[%d]", j), KindExpert, computeStream(j),
+				w.expertEst(j, tpad), func() error {
+					for el := 0; el < eg; el++ {
+						ce := w.expert(j, el).(ChunkedExpert)
+						ce.FinishBackward(cache.ccs[j][el], expertView(dyBlocks[j], el, tpad, mdim))
+					}
+					return nil
+				}, expTask[len(ranges)-1][j])
+		}
+	}
+	if err := w.run(p); err != nil {
+		return nil, err
+	}
+	cache.combined = nil // a cache drives at most one backward
+
+	dScattered := unpadBlocks(dScatteredPad, plan.Experts, t, tpad, mdim)
+	return w.layer.backwardFinish(dScattered, planGrad, pr.flat, pr.rc, plan, pr.shape), nil
+}
+
+// expert returns rank j's el-th local expert.
+func (w *World) expert(j, el int) Expert { return w.layer.cfg.Experts[j*w.egrp+el] }
+
+// a2aTask wraps one chunk collective, accumulating traffic stats (safe:
+// all A2A tasks share the serialized "inter" stream).
+func (w *World) a2aTask(send, recv [][]float64, dims comm.BlockDims, rr comm.RowRange) func() error {
+	return func() error {
+		st, err := comm.AlltoAllRows(w.cfg.Algo, send, recv, w.cfg.GPUsPerNode, dims, rr)
+		if err != nil {
+			return err
+		}
+		w.stats.Merge(st)
+		return nil
+	}
+}
+
+// expertEst is a structural duration estimate (MMACs) of rank j's local
+// expert group for Simulate; the realpipe workflow replaces it with
+// measured durations via SimulateWith. Per-rank summing matters when the
+// expert mix is heterogeneous.
+func (w *World) expertEst(j, rows int) float64 {
+	macs := 0.0
+	for _, ex := range w.layer.cfg.Experts[j*w.egrp : (j+1)*w.egrp] {
+		macs += ex.FwdMACs(rows)
+	}
+	return macs / 1e6
+}
+
+// estElems scales an element count into the same arbitrary unit space.
+func estElems(n int) float64 { return float64(n) / 1e6 }
+
+func wireBuffers(p, n int) [][]float64 {
+	out := make([][]float64, p)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	return out
+}
+
+func rankBlocks(r, eg, tpad, m int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, r)
+	for i := range out {
+		out[i] = tensor.New(eg, tpad, m)
+	}
+	return out
+}
+
+// expertView is local expert el's (Tpad, M) block inside a rank's
+// (Eg, Tpad, M) buffer.
+func expertView(b *tensor.Tensor, el, tpad, m int) *tensor.Tensor {
+	return b.View(el*tpad*m, tpad, m)
+}
+
+// padBlocks grows (E, T, M) to (E, Tpad, M) with zero rows appended to
+// each expert block; unpadBlocks is its inverse. Padding rows carry exact
+// zeros through the pipeline, so they never perturb a gradient.
+func padBlocks(src *tensor.Tensor, e, t, tpad, m int) *tensor.Tensor {
+	if t == tpad {
+		return src
+	}
+	dst := tensor.New(e, tpad, m)
+	dd, sd := dst.Data(), src.Data()
+	for i := 0; i < e; i++ {
+		copy(dd[i*tpad*m:(i*tpad+t)*m], sd[i*t*m:(i+1)*t*m])
+	}
+	return dst
+}
+
+func unpadBlocks(src *tensor.Tensor, e, t, tpad, m int) *tensor.Tensor {
+	if t == tpad {
+		return src
+	}
+	dst := tensor.New(e, t, m)
+	dd, sd := dst.Data(), src.Data()
+	for i := 0; i < e; i++ {
+		copy(dd[i*t*m:(i+1)*t*m], sd[i*tpad*m:(i*tpad+t)*m])
+	}
+	return dst
+}

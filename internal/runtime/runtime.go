@@ -1,0 +1,226 @@
+// Package runtime executes stream-based schedules for real.
+//
+// It is the executable twin of internal/sim: the same mental model — a set
+// of serialized streams, tasks enqueued per stream in program order, a task
+// starting once its stream is free and its dependencies finished — but the
+// tasks here carry closures that move real bytes and run real GEMMs, and
+// the trace that comes back holds *measured* wall-clock intervals instead
+// of modelled durations.
+//
+// A Plan is built exactly like a sim.Graph and is one artifact with two
+// interpretations:
+//
+//   - Simulate() feeds the tasks' estimated durations through the
+//     discrete-event engine and returns the predicted trace;
+//   - Execute() backs every stream with a goroutine, runs the closures
+//     under the enqueue-order + dependency discipline, and returns the
+//     measured trace;
+//   - ExecuteSequential() runs the same closures one after another on a
+//     single goroutine — the no-overlap baseline that turns "pipelining
+//     helps" from a simulator claim into a wall-clock measurement.
+//
+// Because a task's closure mutates real buffers (and parameter-gradient
+// accumulators), a Plan is single-shot: build a fresh Plan per execution.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// task is one schedulable operation: reporting metadata shared with the
+// simulator plus the closure that does the real work.
+type task struct {
+	id     int
+	label  string
+	kind   string
+	stream string
+	est    float64 // modelled duration (ms) for Simulate
+	fn     func() error
+	deps   []int
+
+	done chan struct{} // closed when the task finished (Execute only)
+}
+
+// Plan is a schedule under construction: a DAG of executable tasks with
+// stream assignments. Enqueue order per stream is the execution order, as
+// on a CUDA stream and exactly as in sim.Graph.
+type Plan struct {
+	tasks    []*task
+	streams  map[string][]int
+	order    []string // stream names in first-use order
+	executed bool
+}
+
+// NewPlan returns an empty schedule.
+func NewPlan() *Plan {
+	return &Plan{streams: make(map[string][]int)}
+}
+
+// Add enqueues a task on a stream and returns its id. est is the modelled
+// duration (ms) Simulate uses; fn is the real work Execute runs (nil is a
+// zero-work marker). deps may reference only previously added tasks.
+func (p *Plan) Add(label, kind, stream string, est float64, fn func() error, deps ...int) int {
+	if est < 0 {
+		panic(fmt.Sprintf("runtime: negative estimate for %q", label))
+	}
+	id := len(p.tasks)
+	for _, d := range deps {
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("runtime: task %q depends on unknown task %d", label, d))
+		}
+	}
+	t := &task{id: id, label: label, kind: kind, stream: stream, est: est, fn: fn, deps: append([]int(nil), deps...)}
+	p.tasks = append(p.tasks, t)
+	if _, ok := p.streams[stream]; !ok {
+		p.order = append(p.order, stream)
+	}
+	p.streams[stream] = append(p.streams[stream], id)
+	return id
+}
+
+// Len returns the number of tasks.
+func (p *Plan) Len() int { return len(p.tasks) }
+
+// Streams returns the stream names in first-use order.
+func (p *Plan) Streams() []string { return append([]string(nil), p.order...) }
+
+// Simulate runs the plan's structure through the discrete-event engine
+// using the tasks' estimated durations and returns the predicted trace.
+// It does not touch the closures and may be called any number of times.
+func (p *Plan) Simulate() *sim.Trace {
+	return p.SimulateWith(nil)
+}
+
+// SimulateWith is Simulate with per-task durations overriding the
+// estimates — the hook for "predict the pipelined makespan from measured
+// sequential stage times". durations[i] replaces task i's estimate; a nil
+// slice keeps every estimate, and NaN-free callers may mix (negative
+// entries keep the estimate).
+func (p *Plan) SimulateWith(durations []float64) *sim.Trace {
+	g := sim.NewGraph()
+	for _, t := range p.tasks {
+		d := t.est
+		if durations != nil && t.id < len(durations) && durations[t.id] >= 0 {
+			d = durations[t.id]
+		}
+		g.Add(t.label, t.kind, t.stream, d, t.deps...)
+	}
+	return g.Run()
+}
+
+// markExecuted guards the single-shot contract.
+func (p *Plan) markExecuted() error {
+	if p.executed {
+		return fmt.Errorf("runtime: plan already executed (plans are single-shot: closures mutate real buffers)")
+	}
+	p.executed = true
+	return nil
+}
+
+// Execute runs the plan for real: one goroutine per stream, tasks issued
+// in enqueue order, each waiting for its dependencies before running. The
+// returned trace holds measured wall-clock intervals in milliseconds
+// relative to the execution start. The first task error aborts nothing —
+// streams drain fully so no goroutine leaks — but the error is returned
+// and downstream tasks still run (their inputs may be garbage, which the
+// caller must treat as fatal).
+func (p *Plan) Execute() (*sim.Trace, error) {
+	if err := p.markExecuted(); err != nil {
+		return nil, err
+	}
+	for _, t := range p.tasks {
+		t.done = make(chan struct{})
+	}
+	type timing struct {
+		start, finish time.Duration
+		err           error
+	}
+	timings := make([]timing, len(p.tasks))
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for _, s := range p.order {
+		queue := p.streams[s]
+		wg.Add(1)
+		go func(queue []int) {
+			defer wg.Done()
+			for _, id := range queue {
+				t := p.tasks[id]
+				// A dependency was enqueued earlier on this or another
+				// stream; waiting on its done channel realizes the same
+				// start rule as the simulator.
+				for _, d := range t.deps {
+					<-p.tasks[d].done
+				}
+				timings[id].start = time.Since(t0)
+				if t.fn != nil {
+					timings[id].err = t.fn()
+				}
+				timings[id].finish = time.Since(t0)
+				close(t.done)
+			}
+		}(queue)
+	}
+	wg.Wait()
+	var firstErr error
+	intervals := make([]sim.Interval, len(p.tasks))
+	for i, t := range p.tasks {
+		if timings[i].err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("runtime: task %q: %w", t.label, timings[i].err)
+		}
+		intervals[i] = sim.Interval{
+			Task:   sim.NewTask(t.id, t.label, t.kind, t.stream, t.deps),
+			Start:  timings[i].start.Seconds() * 1e3,
+			Finish: timings[i].finish.Seconds() * 1e3,
+		}
+	}
+	return sim.NewTrace(intervals, p.order), firstErr
+}
+
+// ExecuteSequential runs every closure one after another in task-id order
+// (ids are topological: deps always precede their dependents) on the
+// calling goroutine, with no cross-stream overlap — the measured baseline
+// a pipelined Execute is compared against. The trace attributes each task
+// to its declared stream so breakdowns stay comparable.
+func (p *Plan) ExecuteSequential() (*sim.Trace, error) {
+	if err := p.markExecuted(); err != nil {
+		return nil, err
+	}
+	var firstErr error
+	intervals := make([]sim.Interval, len(p.tasks))
+	t0 := time.Now()
+	for i, t := range p.tasks {
+		start := time.Since(t0)
+		if t.fn != nil {
+			if err := t.fn(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("runtime: task %q: %w", t.label, err)
+			}
+		}
+		intervals[i] = sim.Interval{
+			Task:   sim.NewTask(t.id, t.label, t.kind, t.stream, t.deps),
+			Start:  start.Seconds() * 1e3,
+			Finish: time.Since(t0).Seconds() * 1e3,
+		}
+	}
+	return sim.NewTrace(intervals, p.order), firstErr
+}
+
+// Durations extracts per-task durations (ms) from a trace indexed by task
+// id — the glue between a measured ExecuteSequential trace and
+// SimulateWith.
+func Durations(tr *sim.Trace) []float64 {
+	max := -1
+	for _, iv := range tr.Intervals {
+		if iv.Task.ID > max {
+			max = iv.Task.ID
+		}
+	}
+	out := make([]float64, max+1)
+	for _, iv := range tr.Intervals {
+		out[iv.Task.ID] = iv.Finish - iv.Start
+	}
+	return out
+}

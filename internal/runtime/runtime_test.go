@@ -1,0 +1,177 @@
+package runtime
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestExecuteRespectsDeps builds a diamond A -> {B, C} -> D across three
+// streams and checks the recorded completion order: no task may start
+// before its dependencies finished.
+func TestExecuteRespectsDeps(t *testing.T) {
+	p := NewPlan()
+	var order []int32
+	var mu atomic.Int32
+	record := func(id int32) func() error {
+		return func() error {
+			// mu serializes appends; contention is negligible here.
+			for !mu.CompareAndSwap(0, 1) {
+			}
+			order = append(order, id)
+			mu.Store(0)
+			return nil
+		}
+	}
+	a := p.Add("A", "k", "s1", 1, record(0))
+	b := p.Add("B", "k", "s2", 1, record(1), a)
+	c := p.Add("C", "k", "s3", 1, record(2), a)
+	d := p.Add("D", "k", "s1", 1, record(3), b, c)
+	_ = d
+	tr, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %d tasks, want 4", len(order))
+	}
+	pos := map[int32]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[0] != 0 || pos[3] != 3 {
+		t.Fatalf("dependency order violated: %v", order)
+	}
+	// Trace start/finish must be consistent with deps too.
+	byID := map[int]sim.Interval{}
+	for _, iv := range tr.Intervals {
+		byID[iv.Task.ID] = iv
+	}
+	for _, iv := range tr.Intervals {
+		for _, dep := range iv.Task.Deps {
+			if byID[dep].Finish > iv.Start+1e-6 {
+				t.Fatalf("task %d started at %.4f before dep %d finished at %.4f",
+					iv.Task.ID, iv.Start, dep, byID[dep].Finish)
+			}
+		}
+	}
+}
+
+// TestExecuteStreamSerialization checks that two tasks on the same stream
+// never overlap even without an explicit dependency, while independent
+// tasks on different streams genuinely run concurrently.
+func TestExecuteStreamSerialization(t *testing.T) {
+	p := NewPlan()
+	var inflight, maxInflight, sameStreamInflight atomic.Int32
+	busy := func(stream *atomic.Int32) func() error {
+		return func() error {
+			if stream != nil {
+				if stream.Add(1) > 1 {
+					t.Error("two tasks on one stream ran concurrently")
+				}
+			}
+			n := inflight.Add(1)
+			for {
+				m := maxInflight.Load()
+				if n <= m || maxInflight.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			inflight.Add(-1)
+			if stream != nil {
+				stream.Add(-1)
+			}
+			return nil
+		}
+	}
+	for i := 0; i < 3; i++ {
+		p.Add("S", "k", "serial", 1, busy(&sameStreamInflight))
+	}
+	for i := 0; i < 3; i++ {
+		p.Add("P", "k", "other", 1, busy(nil))
+	}
+	if _, err := p.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInflight.Load() < 2 {
+		t.Fatalf("independent streams never overlapped (max inflight %d)", maxInflight.Load())
+	}
+}
+
+// TestSimulateMatchesSimGraph: the Plan's Simulate must agree exactly with
+// a hand-built sim.Graph of the same structure.
+func TestSimulateMatchesSimGraph(t *testing.T) {
+	p := NewPlan()
+	a := p.Add("A", "k", "compute", 3, nil)
+	b := p.Add("B", "k", "inter", 2, nil, a)
+	p.Add("C", "k", "compute", 4, nil)
+	p.Add("D", "k", "inter", 1, nil, b)
+
+	g := sim.NewGraph()
+	ga := g.Add("A", "k", "compute", 3)
+	gb := g.Add("B", "k", "inter", 2, ga)
+	g.Add("C", "k", "compute", 4)
+	g.Add("D", "k", "inter", 1, gb)
+
+	if got, want := p.Simulate().Makespan, g.Run().Makespan; got != want {
+		t.Fatalf("Simulate makespan %v, sim.Graph %v", got, want)
+	}
+}
+
+// TestSimulateWithOverrides: per-task duration overrides replace the
+// estimates; negative entries keep them.
+func TestSimulateWithOverrides(t *testing.T) {
+	p := NewPlan()
+	a := p.Add("A", "k", "s", 3, nil)
+	p.Add("B", "k", "s", 2, nil, a)
+	if got := p.SimulateWith([]float64{10, -1}).Makespan; got != 12 {
+		t.Fatalf("override makespan %v, want 12", got)
+	}
+	if got := p.Simulate().Makespan; got != 5 {
+		t.Fatalf("estimate makespan %v, want 5", got)
+	}
+}
+
+// TestExecuteSequentialRunsAllAndSingleShot: sequential execution runs
+// every closure exactly once in id order, and a Plan refuses re-execution.
+func TestExecuteSequentialRunsAllAndSingleShot(t *testing.T) {
+	p := NewPlan()
+	var calls atomic.Int32
+	for i := 0; i < 5; i++ {
+		p.Add("T", "k", "s", 1, func() error { calls.Add(1); return nil })
+	}
+	tr, err := p.ExecuteSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("ran %d closures, want 5", calls.Load())
+	}
+	if len(Durations(tr)) != 5 {
+		t.Fatalf("durations len %d, want 5", len(Durations(tr)))
+	}
+	if _, err := p.Execute(); err == nil {
+		t.Fatal("re-executing a plan must fail")
+	}
+}
+
+// TestExecuteErrorPropagates: the first task error comes back with the
+// task's label; all streams still drain.
+func TestExecuteErrorPropagates(t *testing.T) {
+	p := NewPlan()
+	boom := errors.New("boom")
+	var after atomic.Bool
+	a := p.Add("bad", "k", "s", 1, func() error { return boom })
+	p.Add("after", "k", "s", 1, func() error { after.Store(true); return nil }, a)
+	_, err := p.Execute()
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error %v, want wrapped boom", err)
+	}
+	if !after.Load() {
+		t.Fatal("stream did not drain after the failing task")
+	}
+}

@@ -141,6 +141,28 @@ func (g *Graph) Run() *Trace {
 	return tr
 }
 
+// NewTrace assembles a Trace from externally produced intervals — the
+// bridge internal/runtime uses to report *measured* stream executions in
+// the same vocabulary as simulated ones, so Gantt, Breakdown and StreamBusy
+// work on both. streams lists the stream names in first-use order; the
+// makespan is derived from the intervals.
+func NewTrace(intervals []Interval, streams []string) *Trace {
+	tr := &Trace{Intervals: intervals, streams: append([]string(nil), streams...)}
+	for _, iv := range intervals {
+		if iv.Finish > tr.Makespan {
+			tr.Makespan = iv.Finish
+		}
+	}
+	return tr
+}
+
+// NewTask builds a standalone task for externally produced traces (see
+// NewTrace). Tasks made this way carry reporting metadata only; they are
+// not enqueued on any Graph.
+func NewTask(id int, label, kind, stream string, deps []int) *Task {
+	return &Task{ID: id, Label: label, Kind: kind, Stream: stream, Deps: append([]int(nil), deps...)}
+}
+
 // Breakdown returns total busy time per task kind, the per-operation view
 // Table 2 reports.
 func (tr *Trace) Breakdown() map[string]float64 {
