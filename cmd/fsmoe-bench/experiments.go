@@ -21,12 +21,13 @@ func experimentTable() map[string]func(int) error {
 		"fig8":     func(int) error { return fig8() },
 		"degrees":  degrees,
 		"realpipe": func(int) error { return realpipe() },
+		"gradsync": func(int) error { return gradsyncExperiment() },
 	}
 }
 
 // allOrder is the presentation order of "-experiment all" — the simulated
-// paper experiments. realpipe executes real multi-rank compute and is run
-// explicitly, not as part of the paper sweep.
+// paper experiments. realpipe and gradsync execute real multi-rank
+// compute and are run explicitly, not as part of the paper sweep.
 func allOrder() []string {
 	return []string{"table2", "fig4", "fig5", "table5", "fig6", "fig7", "fig8", "table6", "degrees"}
 }

@@ -7,12 +7,13 @@
 //	fsmoe-bench -experiment all
 //	fsmoe-bench -experiment table5 -sample 9
 //	fsmoe-bench -experiment realpipe
+//	fsmoe-bench -experiment gradsync
 //
 // Experiments: table2, table5, table6, fig4, fig5, fig6, fig7, fig8,
-// degrees, realpipe, all. -sample N evaluates every Nth configuration of
-// the 1458 Table 4 grid (1 = full sweep). "all" runs the simulated paper
-// experiments; realpipe executes real multi-rank passes and is invoked
-// explicitly.
+// degrees, realpipe, gradsync, all. -sample N evaluates every Nth
+// configuration of the 1458 Table 4 grid (1 = full sweep). "all" runs the
+// simulated paper experiments; realpipe and gradsync execute real
+// multi-rank passes and are invoked explicitly.
 package main
 
 import (
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|all")
+	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|gradsync|all")
 	sample := flag.Int("sample", 9, "evaluate every Nth Table 4 configuration (1 = all 1458)")
 	flag.Parse()
 

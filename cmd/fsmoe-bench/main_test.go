@@ -6,8 +6,9 @@ import (
 )
 
 // TestExperimentDispatchTable: every name "all" expands to must exist in
-// the dispatch table, realpipe is dispatchable but not part of "all", and
-// lookups resolve exactly the named experiment.
+// the dispatch table, the real-execution experiments (realpipe, gradsync)
+// are dispatchable but not part of "all", and lookups resolve exactly the
+// named experiment.
 func TestExperimentDispatchTable(t *testing.T) {
 	table := experimentTable()
 	for _, name := range allOrder() {
@@ -15,12 +16,14 @@ func TestExperimentDispatchTable(t *testing.T) {
 			t.Fatalf("'all' references %q which is not in the dispatch table", name)
 		}
 	}
-	if table["realpipe"] == nil {
-		t.Fatal("realpipe missing from the dispatch table")
-	}
-	for _, name := range allOrder() {
-		if name == "realpipe" {
-			t.Fatal("realpipe must not run as part of the simulated 'all' sweep")
+	for _, real := range []string{"realpipe", "gradsync"} {
+		if table[real] == nil {
+			t.Fatalf("%s missing from the dispatch table", real)
+		}
+		for _, name := range allOrder() {
+			if name == real {
+				t.Fatalf("%s must not run as part of the simulated 'all' sweep", real)
+			}
 		}
 	}
 	names, err := lookupExperiments("all")
@@ -40,7 +43,7 @@ func TestExperimentLookupRejectsUnknown(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown experiment must be rejected")
 	}
-	for _, want := range append([]string{"all", "realpipe"}, allOrder()...) {
+	for _, want := range append([]string{"all", "realpipe", "gradsync"}, allOrder()...) {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q does not list valid experiment %q", err, want)
 		}

@@ -1,0 +1,79 @@
+// Realgradsync: the §5 Gradient-AllReduce running for real. A 3-layer
+// MoE stack steps across 4 in-process ranks; the backward pass of each
+// layer hides AllReduce slices of the later layers' gradients in its
+// inter-stream slack (FSMoE's adaptive plan), and every rank ends the
+// step with bit-identical parameters — compared here against the fully
+// exposed no-overlap baseline.
+//
+//	go run ./examples/realgradsync
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/fsmoe"
+)
+
+const (
+	layers = 3
+	ranks  = 4
+	m, h   = 32, 48
+	tokens = 96
+)
+
+func stack() []*fsmoe.World {
+	ws := make([]*fsmoe.World, layers)
+	for i := range ws {
+		layer, err := fsmoe.NewLayer(fsmoe.LayerConfig{
+			M: m, H: h, Experts: 8, TopK: 2, CapacityFactor: 1.25, Seed: uint64(7 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws[i], err = fsmoe.NewWorld(layer, fsmoe.WorldConfig{Ranks: ranks, PipelineDegree: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return ws
+}
+
+func main() {
+	x := fsmoe.RandTensor(201, tokens, m)
+	dy := fsmoe.RandTensor(202, tokens, m)
+
+	var ref []float64
+	for _, strat := range []fsmoe.SyncStrategy{fsmoe.SyncNoOverlap, fsmoe.SyncFSMoE} {
+		res, err := fsmoe.StepStack(stack(), x, dy, fsmoe.StepConfig{LR: 0.05, Strategy: strat})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("strategy %-16s hidden %6.0f KB  tail %6.0f KB  (%d overlapped slices)\n",
+			strat, res.Report.HiddenBytes/1024, res.Report.TailBytes/1024, res.Report.Slices)
+
+		// Every rank must hold the same post-step replica, and both
+		// strategies must agree bit for bit.
+		for r := 1; r < ranks; r++ {
+			for k := range res.RankParams[0] {
+				if res.RankParams[r][k] != res.RankParams[0][k] {
+					log.Fatalf("rank %d diverged at parameter %d", r, k)
+				}
+			}
+		}
+		if ref == nil {
+			ref = res.RankParams[0]
+		} else {
+			for k := range ref {
+				if res.RankParams[0][k] != ref[k] {
+					log.Fatalf("strategies disagree at parameter %d", k)
+				}
+			}
+			// The last plan in backward order belongs to layer 0 — the one
+			// whose slack absorbed the later layers' AllReduce slices.
+			fmt.Println("\nlayer 0 backward timeline (AllReduce slices share the inter stream):")
+			fmt.Print(res.Traces[len(res.Traces)-1].Gantt(100))
+		}
+	}
+	fmt.Printf("\nall %d ranks hold bit-identical synchronized parameters under both strategies ✓\n", ranks)
+}

@@ -1,0 +1,110 @@
+package fsmoe
+
+import (
+	"testing"
+)
+
+// syncTestStack builds L identically seeded layers wrapped in R-rank
+// Worlds with a fixed pipeline degree.
+func syncTestStack(t *testing.T, layers, ranks int) []*World {
+	t.Helper()
+	ws := make([]*World, layers)
+	for i := range ws {
+		l, err := NewLayer(LayerConfig{
+			M: 32, H: 48, Experts: 8, TopK: 2, CapacityFactor: 1.25, Seed: uint64(21 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(l, WorldConfig{Ranks: ranks, PipelineDegree: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// TestStepStackStrategiesAgree: the public API steps a 2-layer stack to
+// bit-identical parameters on every rank under all three strategies, and
+// the adaptive strategy actually hides bytes inside the backward plans.
+func TestStepStackStrategiesAgree(t *testing.T) {
+	x := RandTensor(101, 96, 32)
+	dy := RandTensor(102, 96, 32)
+	var ref []float64
+	for _, strat := range []SyncStrategy{SyncFSMoE, SyncLinaFixed, SyncNoOverlap} {
+		ws := syncTestStack(t, 2, 4)
+		res, err := StepStack(ws, x, dy, StepConfig{LR: 0.02, Strategy: strat, ChunkBytes: 64 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		for r := 1; r < len(res.RankParams); r++ {
+			for k := range res.RankParams[0] {
+				if res.RankParams[r][k] != res.RankParams[0][k] {
+					t.Fatalf("%s: rank %d param %d diverges", strat, r, k)
+				}
+			}
+		}
+		if ref == nil {
+			ref = res.RankParams[0]
+		} else {
+			for k := range ref {
+				if res.RankParams[0][k] != ref[k] {
+					t.Fatalf("%s: param %d differs across strategies", strat, k)
+				}
+			}
+		}
+		if strat == SyncFSMoE && res.Report.HiddenBytes <= 0 {
+			t.Fatalf("adaptive strategy hid nothing: %+v", res.Report)
+		}
+		if strat == SyncNoOverlap && res.Report.HiddenBytes != 0 {
+			t.Fatalf("no-overlap strategy hid bytes: %+v", res.Report)
+		}
+	}
+}
+
+// TestSyncGradientsBlocking: the blocking entry reconstructs the layer's
+// accumulated gradient bit-exactly on every rank.
+func TestSyncGradientsBlocking(t *testing.T) {
+	layer, err := NewLayer(LayerConfig{
+		M: 32, H: 48, Experts: 8, TopK: 2, CapacityFactor: 1.25, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(layer, WorldConfig{Ranks: 4, PipelineDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandTensor(111, 96, 32)
+	dy := RandTensor(112, 96, 32)
+	layer.ZeroGrad()
+	_, cache, err := w.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Backward(cache, dy); err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for _, p := range layer.Params() {
+		want = append(want, p.G.Data()...)
+	}
+	rep, err := SyncGradients([]*World{w}, StepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Report.TailBytes != rep.Report.TotalBytes {
+		t.Fatalf("blocking sync must be all tail: %+v", rep.Report)
+	}
+	for r, g := range rep.LayerGrads[0] {
+		if len(g) != len(want) {
+			t.Fatalf("rank %d grad length %d, want %d", r, len(g), len(want))
+		}
+		for k := range want {
+			if g[k] != want[k] {
+				t.Fatalf("rank %d grad %d = %v, accumulated %v", r, k, g[k], want[k])
+			}
+		}
+	}
+}

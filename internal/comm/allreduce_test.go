@@ -1,0 +1,212 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func randRanks(seed uint64, p, n int) [][]float64 {
+	rng := xrand.New(seed)
+	out := make([][]float64, p)
+	for r := range out {
+		out[r] = make([]float64, n)
+		for i := range out[r] {
+			out[r][i] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+func cloneRanks(data [][]float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for r := range data {
+		out[r] = append([]float64(nil), data[r]...)
+	}
+	return out
+}
+
+// TestChunkedRingAllReduceBitIdentical: reducing any tiling of the buffer
+// chunk by chunk must reproduce the monolithic RingAllReduce byte for
+// byte — the §5 slicing must never change a gradient bit.
+func TestChunkedRingAllReduceBitIdentical(t *testing.T) {
+	for _, p := range []int{2, 4, 5} {
+		for _, n := range []int{1, 7, 64, 129} {
+			ref := randRanks(uint64(100*p+n), p, n)
+			want := cloneRanks(ref)
+			wantSt, err := RingAllReduce(want, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, chunks := range []int{1, 2, 3, 5, 8, n + 3} {
+				got := cloneRanks(ref)
+				st, err := ChunkedRingAllReduce(got, 2, chunks, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := range got {
+					for i := range got[r] {
+						if got[r][i] != want[r][i] {
+							t.Fatalf("p=%d n=%d chunks=%d: rank %d elem %d: %v != %v",
+								p, n, chunks, r, i, got[r][i], want[r][i])
+						}
+					}
+				}
+				if st.IntraVolume+st.InterVolume != wantSt.IntraVolume+wantSt.InterVolume {
+					t.Fatalf("p=%d n=%d chunks=%d: chunked volume %v, monolithic %v",
+						p, n, chunks, st.IntraVolume+st.InterVolume, wantSt.IntraVolume+wantSt.InterVolume)
+				}
+			}
+		}
+	}
+}
+
+// TestRingAllReduceChunkTilingOrder: disjoint ranges may be reduced in any
+// order (the overlapped schedule interleaves slices of different layers)
+// and still tile to the monolithic result.
+func TestRingAllReduceChunkTilingOrder(t *testing.T) {
+	const p, n = 4, 101
+	ref := randRanks(7, p, n)
+	want := cloneRanks(ref)
+	if _, err := RingAllReduce(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := cloneRanks(ref)
+	ranges := SplitFlat(n, 5)
+	// Reverse order, then a middle-out shuffle.
+	order := []int{4, 2, 0, 3, 1}
+	for _, c := range order {
+		if _, err := RingAllReduceChunk(got, 0, ranges[c]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := range got {
+		for i := range got[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("rank %d elem %d: %v != %v", r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestRingAllReduceChunkExactWithDisjointPartials: when every element has
+// exactly one non-zero contributor (the executable gradient-sync layout:
+// expert grads live on their owner rank, dense shards are disjoint), the
+// ring sum is exact — adding zeros never rounds — and every rank ends with
+// identical bytes. This is the property World.Step's parameter-equality
+// assertion rests on.
+func TestRingAllReduceChunkExactWithDisjointPartials(t *testing.T) {
+	const p, n = 4, 57
+	truth := make([]float64, n)
+	rng := xrand.New(9)
+	data := make([][]float64, p)
+	for r := range data {
+		data[r] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		truth[i] = rng.NormFloat64()
+		data[i%p][i] = truth[i]
+	}
+	if _, err := ChunkedRingAllReduce(data, 2, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		for i := 0; i < n; i++ {
+			if data[r][i] != truth[i] {
+				t.Fatalf("rank %d elem %d: %v != %v", r, i, data[r][i], truth[i])
+			}
+		}
+	}
+}
+
+// TestAllReduceAsync: chunks land in order, each ChunkDone gates a fully
+// reduced range, and Wait returns the monolithic result.
+func TestAllReduceAsync(t *testing.T) {
+	const p, n, chunks = 4, 200, 4
+	ref := randRanks(11, p, n)
+	want := cloneRanks(ref)
+	if _, err := RingAllReduce(want, 2); err != nil {
+		t.Fatal(err)
+	}
+	data := cloneRanks(ref)
+	a, err := AllReduceAsync(data, 2, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chunks() != chunks {
+		t.Fatalf("chunks = %d, want %d", a.Chunks(), chunks)
+	}
+	for c := 0; c < a.Chunks(); c++ {
+		<-a.ChunkDone(c)
+		if !a.Landed(c) {
+			t.Fatalf("chunk %d unblocked without landing", c)
+		}
+		rr := a.Range(c)
+		for r := 0; r < p; r++ {
+			for i := rr.Lo; i < rr.Hi; i++ {
+				if data[r][i] != want[r][i] {
+					t.Fatalf("chunk %d rank %d elem %d not reduced", c, r, i)
+				}
+			}
+		}
+	}
+	st, err := a.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IntraVolume+st.InterVolume <= 0 {
+		t.Fatal("async allreduce recorded no traffic")
+	}
+}
+
+// TestRingAllReduceChunkErrors covers the validation paths.
+func TestRingAllReduceChunkErrors(t *testing.T) {
+	ok := [][]float64{{1, 2}, {3, 4}}
+	if _, err := RingAllReduceChunk([][]float64{{1}, {2, 3}}, 0, RowRange{0, 1}); err == nil {
+		t.Fatal("ragged buffers must fail")
+	}
+	if _, err := RingAllReduceChunk(ok, 0, RowRange{-1, 1}); err == nil {
+		t.Fatal("negative range must fail")
+	}
+	if _, err := RingAllReduceChunk(ok, 0, RowRange{0, 3}); err == nil {
+		t.Fatal("range past the buffer must fail")
+	}
+	if _, err := AllReduceAsync([][]float64{{1}, {2, 3}}, 0, 2); err == nil {
+		t.Fatal("async with ragged buffers must fail")
+	}
+	// Empty range and single rank are no-ops.
+	if st, err := RingAllReduceChunk(ok, 0, RowRange{1, 1}); err != nil || st.InterVolume != 0 {
+		t.Fatalf("empty range: %v %+v", err, st)
+	}
+	one := [][]float64{{5, math.Pi}}
+	if _, err := RingAllReduceChunk(one, 0, RowRange{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if one[0][0] != 5 || one[0][1] != math.Pi {
+		t.Fatal("single-rank allreduce must leave the buffer untouched")
+	}
+}
+
+// TestSplitFlat pins the flat-slicing contract gradsync relies on: ranges
+// tile [0, n), are non-empty, and cap at n.
+func TestSplitFlat(t *testing.T) {
+	for _, tc := range []struct{ n, chunks, want int }{
+		{10, 3, 3}, {10, 1, 1}, {3, 8, 3}, {1, 1, 1},
+	} {
+		got := SplitFlat(tc.n, tc.chunks)
+		if len(got) != tc.want {
+			t.Fatalf("SplitFlat(%d,%d) = %d ranges, want %d", tc.n, tc.chunks, len(got), tc.want)
+		}
+		next := 0
+		for _, rr := range got {
+			if rr.Lo != next || rr.Len() <= 0 {
+				t.Fatalf("SplitFlat(%d,%d) = %v does not tile", tc.n, tc.chunks, got)
+			}
+			next = rr.Hi
+		}
+		if next != tc.n {
+			t.Fatalf("SplitFlat(%d,%d) ends at %d", tc.n, tc.chunks, next)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package comm
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/tensor"
 )
 
 // This file layers chunked, asynchronous AlltoAll on top of the monolithic
@@ -99,10 +101,21 @@ func AlltoAllRows(algo A2AAlgo, data, out [][]float64, gpusPerNode int, dims Blo
 	if rows == 0 {
 		return st, nil
 	}
+	// Staging buffers come from the shared tensor free-list: per-chunk
+	// pack/unpack allocations would otherwise sit inside measured AlltoAll
+	// intervals (GC churn lands identically in baseline and pipelined runs,
+	// but pooling tightens the absolute numbers).
 	w := dims.Width
 	sub := make([][]float64, p)
+	staged := make([]*tensor.Tensor, p)
+	defer func() {
+		for _, t := range staged {
+			tensor.Put(t)
+		}
+	}()
 	for r := 0; r < p; r++ {
-		sub[r] = make([]float64, rows*w*p)
+		staged[r] = tensor.GetUninit(rows * w * p)
+		sub[r] = staged[r].Data()
 		for d := 0; d < p; d++ {
 			src := data[r][d*b+rr.Lo*w : d*b+rr.Hi*w]
 			copy(sub[r][d*rows*w:(d+1)*rows*w], src)

@@ -78,66 +78,16 @@ func checkUniform(data [][]float64) (int, error) {
 // RingAllReduce sums the rank buffers elementwise into every rank, using
 // the standard 2(p-1)-step ring: a reduce-scatter phase followed by an
 // allgather phase, each moving ~n/p per step. Buffers are updated in
-// place. gpusPerNode attributes traffic for Stats (pass 0 if irrelevant).
+// place. gpusPerNode attributes traffic for Stats (pass 0 to count all
+// traffic as inter-node). It is the single-chunk case of the restricted
+// ring in allreduce.go, so the chunked collectives are byte-identical to
+// it by construction.
 func RingAllReduce(data [][]float64, gpusPerNode int) (Stats, error) {
-	var st Stats
 	n, err := checkUniform(data)
 	if err != nil {
-		return st, err
+		return Stats{}, err
 	}
-	p := len(data)
-	if p == 1 {
-		return st, nil
-	}
-	w := world{g: gpusPerNode}
-	// Chunk c covers [bounds[c], bounds[c+1]).
-	bounds := make([]int, p+1)
-	for c := 0; c <= p; c++ {
-		bounds[c] = c * n / p
-	}
-	chunk := func(r, c int) []float64 { return data[r][bounds[c]:bounds[c+1]] }
-
-	// Phase 1: reduce-scatter. At step s, rank r sends chunk (r-s) mod p to
-	// rank r+1, which accumulates. All sends of one step use pre-step data,
-	// so stage them.
-	for s := 0; s < p-1; s++ {
-		staged := make([][]float64, p)
-		for r := 0; r < p; r++ {
-			c := ((r-s)%p + p) % p
-			src := chunk(r, c)
-			cp := make([]float64, len(src))
-			copy(cp, src)
-			staged[r] = cp
-		}
-		for r := 0; r < p; r++ {
-			dst := (r + 1) % p
-			c := ((r-s)%p + p) % p
-			dchunk := chunk(dst, c)
-			for i, v := range staged[r] {
-				dchunk[i] += v
-			}
-			st.add(w.sameNode(r, dst), len(staged[r]))
-		}
-	}
-	// After phase 1, rank r holds the fully reduced chunk (r+1) mod p.
-	// Phase 2: allgather the reduced chunks around the ring.
-	for s := 0; s < p-1; s++ {
-		staged := make([][]float64, p)
-		for r := 0; r < p; r++ {
-			c := ((r+1-s)%p + p) % p
-			src := chunk(r, c)
-			cp := make([]float64, len(src))
-			copy(cp, src)
-			staged[r] = cp
-		}
-		for r := 0; r < p; r++ {
-			dst := (r + 1) % p
-			c := ((r+1-s)%p + p) % p
-			copy(chunk(dst, c), staged[r])
-			st.add(w.sameNode(r, dst), len(staged[r]))
-		}
-	}
-	return st, nil
+	return RingAllReduceChunk(data, gpusPerNode, RowRange{Lo: 0, Hi: n})
 }
 
 // RingAllGather concatenates every rank's buffer on every rank:

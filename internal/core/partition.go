@@ -27,6 +27,12 @@ type GarPlan struct {
 	TotalBytes float64
 }
 
+// HiddenBytes returns the bytes the plan hides around layer i's backward:
+// the MoE-pipeline window plus the dense-backward window. This is the
+// per-layer budget the executable gradsync.Syncer materializes as
+// AllReduce slices in that layer's backward stream plan.
+func (g *GarPlan) HiddenBytes(i int) float64 { return g.MoEBytes[i] + g.DenseBytes[i] }
+
 // Overlapped returns the total bytes hidden by the plan.
 func (g *GarPlan) Overlapped() float64 {
 	s := 0.0

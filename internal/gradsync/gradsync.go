@@ -1,0 +1,403 @@
+// Package gradsync makes the paper's §5 Gradient-AllReduce executable: it
+// takes the per-rank partial parameter gradients a multi-rank backward
+// pass produces, plans how many bytes to hide inside each layer's
+// backward pipeline (core.PartitionGradients — the FSMoE contribution —
+// or the Lina fixed-chunk / no-overlap baselines), and materializes that
+// plan as real chunked Ring-AllReduce tasks appended to the backward
+// stream plans, so AllReduce slices genuinely run in the slack between
+// dispatch/combine chunks on the shared inter-node stream.
+//
+// The package is deliberately ignorant of the MoE layer: a consumer
+// registers one LayerSpec per generalized layer (element counts plus the
+// §5 byte-accounting volumes), then drives the Syncer in backward order —
+// StartLayer(i) before layer i's plan is built, EmitAt while it is built
+// (the hook a stream-plan builder calls at inter-stream slack points),
+// Collect(i) once layer i's gradients exist, and Finish() for the exposed
+// tail. Because every element is reduced exactly once by a restricted
+// ring that is byte-identical under any slicing (comm.RingAllReduceChunk),
+// all strategies produce bit-identical synchronized gradients; only the
+// wall-clock placement differs.
+package gradsync
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// Strategy selects how gradient synchronization is scheduled relative to
+// the backward pipeline.
+type Strategy string
+
+const (
+	// StrategyFSMoE is §5's adaptive partitioning: per-layer hidden byte
+	// budgets from core.PartitionGradients (greedy window fill plus the
+	// differential-evolution stretch assignment).
+	StrategyFSMoE Strategy = "fsmoe-adaptive"
+	// StrategyFixedChunk is the Lina baseline (§6.4): every pending
+	// gradient is launched as fixed-size chunks as soon as it exists,
+	// regardless of how much slack the schedule actually has.
+	StrategyFixedChunk Strategy = "lina-fixed-chunk"
+	// StrategyNoOverlap synchronizes everything sequentially after the
+	// whole backward pass — the fully exposed Tutel-style tail.
+	StrategyNoOverlap Strategy = "no-overlap"
+)
+
+// KindAllReduce is the task kind of emitted AllReduce slices, matching
+// the Table 2 vocabulary used by the simulator's Gradient-AllReduce rows.
+const KindAllReduce = "AllReduce"
+
+// LayerSpec registers one generalized layer with a Syncer.
+type LayerSpec struct {
+	// Elems is the layer's flattened gradient length (per rank).
+	Elems int
+	// DenseElems is the leading prefix attributed to the dense (gate)
+	// sub-model; the remainder is expert gradient. It only steers the
+	// byte accounting — slicing treats the buffer uniformly.
+	DenseElems int
+	// V is the §5 byte accounting PartitionGradients consumes. V.GradBytes
+	// should equal Elems·ElemBytes for the plan to conserve volume.
+	V core.Volumes
+}
+
+// Config tunes a Syncer.
+type Config struct {
+	Strategy    Strategy
+	Models      core.Models // performance models driving the GarPlan and task estimates
+	RMax        int         // Algorithm-1 degree cap (default 16)
+	ChunkBytes  float64     // StrategyFixedChunk chunk size (default 30 MiB, the paper's Lina setting)
+	Slices      int         // AllReduce slices per hidden window (default 4)
+	ElemBytes   float64     // accounting bytes per gradient element (default 4, fp32 master grads)
+	GPUsPerNode int         // node shape for ring Stats; <= 0 counts all traffic as inter-node (comm semantics)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == "" {
+		c.Strategy = StrategyFSMoE
+	}
+	if c.RMax < 1 {
+		c.RMax = 16
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 30 << 20
+	}
+	if c.Slices < 1 {
+		c.Slices = 4
+	}
+	if c.ElemBytes <= 0 {
+		c.ElemBytes = 4
+	}
+	return c
+}
+
+// pendingRange is one not-yet-synchronized element range of one layer.
+type pendingRange struct {
+	layer int
+	rr    comm.RowRange
+}
+
+// Report summarizes one synchronization round.
+type Report struct {
+	Strategy    Strategy
+	TotalBytes  float64 // accounting bytes across all layers
+	HiddenBytes float64 // bytes reduced inside backward stream plans
+	TailBytes   float64 // bytes reduced sequentially by Finish
+	TailMS      float64 // measured wall time of the exposed tail
+	Slices      int     // AllReduce tasks emitted into plans
+	TailSlices  int     // AllReduce slices run by Finish
+	Stats       comm.Stats
+	Gar         *core.GarPlan // the strategy's byte plan (nil for no-overlap)
+}
+
+// Syncer drives one backward pass's gradient synchronization. It is not
+// safe for concurrent use; the stream runtime serializes the emitted
+// tasks on the inter stream, and StartLayer/Collect/Finish are called
+// from the goroutine that builds and awaits the plans, so no additional
+// locking is needed.
+type Syncer struct {
+	cfg    Config
+	specs  []LayerSpec
+	plan   *core.GarPlan
+	grads  [][][]float64 // [layer][rank][] partial gradients, set by Collect
+	ranks  int
+	seen   int // layers collected so far
+	synced bool
+
+	pending []pendingRange
+	emit    [][]pendingRange // slices bucketed per emit point for the current layer
+	rep     Report
+}
+
+// New validates the layer specs and computes the strategy's byte plan.
+func New(cfg Config, specs []LayerSpec) (*Syncer, error) {
+	cfg = cfg.withDefaults()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("gradsync: no layers")
+	}
+	for i, sp := range specs {
+		if sp.Elems <= 0 {
+			return nil, fmt.Errorf("gradsync: layer %d has %d gradient elements", i, sp.Elems)
+		}
+		if sp.DenseElems < 0 || sp.DenseElems > sp.Elems {
+			return nil, fmt.Errorf("gradsync: layer %d dense prefix %d outside [0,%d]", i, sp.DenseElems, sp.Elems)
+		}
+		if err := sp.V.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	s := &Syncer{cfg: cfg, specs: specs, grads: make([][][]float64, len(specs))}
+	cores := make([]core.LayerSpec, len(specs))
+	total := 0.0
+	for i, sp := range specs {
+		cores[i] = core.LayerSpec{V: sp.V}
+		total += float64(sp.Elems) * cfg.ElemBytes
+	}
+	s.rep = Report{Strategy: cfg.Strategy, TotalBytes: total}
+	switch cfg.Strategy {
+	case StrategyFSMoE:
+		s.plan = cfg.Models.PartitionGradients(cores, cfg.RMax)
+	case StrategyFixedChunk:
+		s.plan = cfg.Models.FixedChunkGarPlan(cores, cfg.ChunkBytes)
+	case StrategyNoOverlap:
+		s.plan = nil
+	default:
+		return nil, fmt.Errorf("gradsync: unknown strategy %q (valid: %s, %s, %s)",
+			cfg.Strategy, StrategyFSMoE, StrategyFixedChunk, StrategyNoOverlap)
+	}
+	s.rep.Gar = s.plan
+	return s, nil
+}
+
+// Report returns the running synchronization summary (complete after
+// Finish).
+func (s *Syncer) Report() Report { return s.rep }
+
+// LayerGrads returns layer i's per-rank gradient buffers as registered by
+// Collect (nil before then). After Finish they hold the synchronized
+// full gradient, identical on every rank.
+func (s *Syncer) LayerGrads(i int) [][]float64 {
+	if i < 0 || i >= len(s.grads) {
+		return nil
+	}
+	return s.grads[i]
+}
+
+// budgetElems returns how many pending elements layer i's backward window
+// may hide, per the strategy.
+func (s *Syncer) budgetElems(i int) int {
+	switch s.cfg.Strategy {
+	case StrategyFSMoE:
+		return int(s.plan.HiddenBytes(i) / s.cfg.ElemBytes)
+	case StrategyFixedChunk:
+		// Lina launches everything already produced, slack or not.
+		n := 0
+		for _, pr := range s.pending {
+			n += pr.rr.Len()
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// sliceElems is the per-task slice size for layer i's window.
+func (s *Syncer) sliceElems(taken int) int {
+	var per int
+	if s.cfg.Strategy == StrategyFixedChunk {
+		per = int(s.cfg.ChunkBytes / s.cfg.ElemBytes)
+	} else {
+		per = (taken + s.cfg.Slices - 1) / s.cfg.Slices
+	}
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// StartLayer prepares the AllReduce slices layer i's backward plan will
+// absorb: it drains up to the strategy's byte budget from the pending
+// pool (gradients of layers whose backward already finished) and cuts the
+// drained ranges into slice tasks. Call before the layer's plan is built.
+func (s *Syncer) StartLayer(i int) {
+	if i < 0 || i >= len(s.specs) {
+		return
+	}
+	// Slices parked for a previous plan that never emitted them (a builder
+	// announcing more points than it drives) return to the pool rather
+	// than being lost.
+	for _, bucket := range s.emit {
+		s.pending = append(s.pending, bucket...)
+	}
+	s.emit = nil
+	budget := s.budgetElems(i)
+	var taken []pendingRange
+	total := 0
+	for budget > 0 && len(s.pending) > 0 {
+		pr := s.pending[0]
+		n := pr.rr.Len()
+		if n <= budget {
+			s.pending = s.pending[1:]
+			taken = append(taken, pr)
+			total += n
+			budget -= n
+			continue
+		}
+		cut := pendingRange{layer: pr.layer, rr: comm.RowRange{Lo: pr.rr.Lo, Hi: pr.rr.Lo + budget}}
+		s.pending[0].rr.Lo = cut.rr.Hi
+		taken = append(taken, cut)
+		total += budget
+		budget = 0
+	}
+	// Cut the drained ranges into per-task slices and park them until the
+	// plan builder announces its emit points.
+	per := s.sliceElems(total)
+	var slices []pendingRange
+	for _, pr := range taken {
+		slices = append(slices, cutSlices(pr, per)...)
+	}
+	s.emit = [][]pendingRange{slices}
+}
+
+// cutSlices splits one pending range into per-sized slices — the single
+// cutting rule shared by the hidden windows and the fixed-chunk tail.
+func cutSlices(pr pendingRange, per int) []pendingRange {
+	var out []pendingRange
+	for lo := pr.rr.Lo; lo < pr.rr.Hi; lo += per {
+		hi := lo + per
+		if hi > pr.rr.Hi {
+			hi = pr.rr.Hi
+		}
+		out = append(out, pendingRange{layer: pr.layer, rr: comm.RowRange{Lo: lo, Hi: hi}})
+	}
+	return out
+}
+
+// BeginLayer implements the plan-builder hook: the builder announces how
+// many inter-stream emit points the plan has, and the prepared slices are
+// spread across them round-robin so they fill successive slack windows
+// instead of piling up in the first one.
+func (s *Syncer) BeginLayer(points int) {
+	if points < 1 {
+		points = 1
+	}
+	var slices []pendingRange
+	for _, bucket := range s.emit {
+		slices = append(slices, bucket...)
+	}
+	s.emit = make([][]pendingRange, points)
+	for t, sl := range slices {
+		s.emit[t%points] = append(s.emit[t%points], sl)
+	}
+}
+
+// EmitAt appends the AllReduce slice tasks assigned to emit point pt onto
+// stream (the plan's shared inter stream). Tasks have no dependencies —
+// their input gradients were produced by plans that already completed —
+// so only stream order schedules them, which is exactly the inter-node
+// link contention §5 budgets for.
+func (s *Syncer) EmitAt(p *runtime.Plan, stream string, pt int) {
+	if pt < 0 || pt >= len(s.emit) {
+		return
+	}
+	for _, sl := range s.emit[pt] {
+		sl := sl
+		bytes := float64(sl.rr.Len()) * s.cfg.ElemBytes
+		// The estimate lives in the same arbitrary elements/1e6 unit space
+		// as the host plan's other tasks (moe.World's estElems), so the
+		// plan's structural Simulate stays internally consistent; the ring
+		// moves ~2 passes over the slice.
+		est := float64(2*sl.rr.Len()) / 1e6
+		p.Add(fmt.Sprintf("AR%d[%d:%d)", sl.layer, sl.rr.Lo, sl.rr.Hi), KindAllReduce, stream, est,
+			func() error { return s.reduce(sl) })
+		s.rep.Slices++
+		s.rep.HiddenBytes += bytes
+	}
+	s.emit[pt] = nil
+}
+
+// reduce runs one restricted ring over a slice. Plans execute their inter
+// stream serially and Finish runs after every plan has been awaited, so
+// the stats accumulation never races.
+func (s *Syncer) reduce(sl pendingRange) error {
+	bufs := s.grads[sl.layer]
+	if bufs == nil {
+		return fmt.Errorf("gradsync: layer %d sliced before Collect", sl.layer)
+	}
+	st, err := comm.RingAllReduceChunk(bufs, s.cfg.GPUsPerNode, sl.rr)
+	if err != nil {
+		return err
+	}
+	s.rep.Stats.Merge(st)
+	return nil
+}
+
+// Collect registers layer i's per-rank partial gradients: from now on
+// they are pending and later windows (or the tail) will reduce them.
+// Buffers must all have the registered element count; they are reduced in
+// place (every rank ends with the elementwise sum).
+func (s *Syncer) Collect(i int, grads [][]float64) error {
+	if i < 0 || i >= len(s.specs) {
+		return fmt.Errorf("gradsync: collect of unknown layer %d", i)
+	}
+	if s.grads[i] != nil {
+		return fmt.Errorf("gradsync: layer %d collected twice", i)
+	}
+	if len(grads) == 0 {
+		return fmt.Errorf("gradsync: layer %d collected no ranks", i)
+	}
+	if s.ranks != 0 && len(grads) != s.ranks {
+		return fmt.Errorf("gradsync: layer %d has %d ranks, earlier layers %d", i, len(grads), s.ranks)
+	}
+	for r, g := range grads {
+		if len(g) != s.specs[i].Elems {
+			return fmt.Errorf("gradsync: layer %d rank %d has %d elements, spec says %d", i, r, len(g), s.specs[i].Elems)
+		}
+	}
+	s.ranks = len(grads)
+	s.grads[i] = grads
+	s.pending = append(s.pending, pendingRange{layer: i, rr: comm.RowRange{Lo: 0, Hi: s.specs[i].Elems}})
+	s.seen++
+	return nil
+}
+
+// Finish synchronizes everything still pending — the exposed tail — on
+// the calling goroutine, measuring its wall time, and returns the
+// completed report. Every layer must have been collected.
+func (s *Syncer) Finish() (Report, error) {
+	if s.synced {
+		return s.rep, fmt.Errorf("gradsync: Finish called twice")
+	}
+	if s.seen != len(s.specs) {
+		return s.rep, fmt.Errorf("gradsync: %d of %d layers collected", s.seen, len(s.specs))
+	}
+	s.synced = true
+	// Anything still parked for emission was never absorbed by a plan
+	// (e.g. the budget outran the plan's emit points); it joins the tail.
+	for _, bucket := range s.emit {
+		s.pending = append(s.pending, bucket...)
+	}
+	s.emit = nil
+	t0 := time.Now()
+	for _, pr := range s.pending {
+		// The tail still moves in ChunkBytes-bounded slices for the fixed-
+		// chunk baseline (each paying its collective startup); adaptive and
+		// no-overlap tails go as whole remaining ranges.
+		slices := []pendingRange{pr}
+		if s.cfg.Strategy == StrategyFixedChunk {
+			slices = cutSlices(pr, s.sliceElems(pr.rr.Len()))
+		}
+		for _, sl := range slices {
+			if err := s.reduce(sl); err != nil {
+				return s.rep, err
+			}
+			s.rep.TailSlices++
+			s.rep.TailBytes += float64(sl.rr.Len()) * s.cfg.ElemBytes
+		}
+	}
+	s.pending = nil
+	s.rep.TailMS = float64(time.Since(t0)) / 1e6
+	return s.rep, nil
+}

@@ -1,0 +1,197 @@
+package gradsync
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// testSpecs builds L layers of n elements with simulator-consistent byte
+// accounting on Testbed A's models.
+func testSpecs(l, n, dense int) (Config, []LayerSpec) {
+	cfg := Config{Models: core.ModelsFromCluster(topology.TestbedA()), ElemBytes: 4, Slices: 3}
+	specs := make([]LayerSpec, l)
+	for i := range specs {
+		specs[i] = LayerSpec{
+			Elems:      n,
+			DenseElems: dense,
+			V: core.Volumes{
+				NA2A: 1e6, NAG: 1e5, NRS: 1e5, ExpMACs: 1e8, ExpGEMMs: 2,
+				DenseFwd: 0.1, DenseBwd: 0.3,
+				GradBytes: float64(n) * 4,
+			},
+		}
+	}
+	return cfg, specs
+}
+
+// disjointGrads builds per-rank partials where every element has exactly
+// one non-zero owner, so the reduced value is exact and known.
+func disjointGrads(seed uint64, ranks, n int) (bufs [][]float64, truth []float64) {
+	rng := xrand.New(seed)
+	truth = make([]float64, n)
+	bufs = make([][]float64, ranks)
+	for r := range bufs {
+		bufs[r] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		truth[i] = rng.NormFloat64()
+		bufs[i%ranks][i] = truth[i]
+	}
+	return bufs, truth
+}
+
+// driveBackward simulates the plan-builder protocol for one full backward
+// pass in reverse layer order, executing each layer's plan for real.
+func driveBackward(t *testing.T, s *Syncer, layers int, grads [][][]float64, points int) {
+	t.Helper()
+	for i := layers - 1; i >= 0; i-- {
+		s.StartLayer(i)
+		p := runtime.NewPlan()
+		s.BeginLayer(points)
+		for pt := 0; pt < points; pt++ {
+			s.EmitAt(p, "inter", pt)
+		}
+		if p.Len() > 0 {
+			if _, err := p.Execute(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Collect(i, grads[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSyncerStrategiesBitIdentical: all three strategies must reduce every
+// layer's gradients to the identical bytes — only scheduling differs.
+func TestSyncerStrategiesBitIdentical(t *testing.T) {
+	const layers, ranks, n = 3, 4, 501
+	for _, strat := range []Strategy{StrategyFSMoE, StrategyFixedChunk, StrategyNoOverlap} {
+		cfg, specs := testSpecs(layers, n, 40)
+		cfg.Strategy = strat
+		cfg.ChunkBytes = 256 * 4 // small fixed chunks so Lina actually slices
+		s, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grads := make([][][]float64, layers)
+		truths := make([][]float64, layers)
+		for i := range grads {
+			grads[i], truths[i] = disjointGrads(uint64(50+i), ranks, n)
+		}
+		driveBackward(t, s, layers, grads, 3)
+		rep, err := s.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range grads {
+			for r := 0; r < ranks; r++ {
+				for k := 0; k < n; k++ {
+					if grads[i][r][k] != truths[i][k] {
+						t.Fatalf("%s: layer %d rank %d elem %d = %v, want %v",
+							strat, i, r, k, grads[i][r][k], truths[i][k])
+					}
+				}
+			}
+		}
+		wantTotal := float64(layers*n) * cfg.ElemBytes
+		if rep.HiddenBytes+rep.TailBytes != wantTotal {
+			t.Fatalf("%s: hidden %v + tail %v != total %v", strat, rep.HiddenBytes, rep.TailBytes, wantTotal)
+		}
+		switch strat {
+		case StrategyNoOverlap:
+			if rep.HiddenBytes != 0 || rep.Slices != 0 {
+				t.Fatalf("no-overlap hid %v bytes in %d slices", rep.HiddenBytes, rep.Slices)
+			}
+		case StrategyFixedChunk:
+			// Layers 1 and 2 are pending when layers 1 and 0 build their
+			// plans; Lina launches them all, so only layer 0's own
+			// gradients remain exposed.
+			if rep.HiddenBytes != float64(2*n)*cfg.ElemBytes {
+				t.Fatalf("lina hid %v bytes, want %v", rep.HiddenBytes, float64(2*n)*cfg.ElemBytes)
+			}
+		case StrategyFSMoE:
+			if rep.Gar == nil {
+				t.Fatal("fsmoe strategy must carry a GarPlan")
+			}
+		}
+	}
+}
+
+// TestSyncerFSMoEHidesBytes: with Testbed A models and comfortable
+// windows, the adaptive plan must hide a positive share inside the plans.
+func TestSyncerFSMoEHidesBytes(t *testing.T) {
+	const layers, ranks, n = 4, 2, 2048
+	cfg, specs := testSpecs(layers, n, 100)
+	s, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := make([][][]float64, layers)
+	for i := range grads {
+		grads[i], _ = disjointGrads(uint64(90+i), ranks, n)
+	}
+	driveBackward(t, s, layers, grads, 2)
+	rep, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HiddenBytes <= 0 {
+		t.Fatalf("adaptive plan hid nothing (report %+v, gar %+v)", rep, rep.Gar)
+	}
+	if rep.Stats.IntraVolume+rep.Stats.InterVolume <= 0 {
+		t.Fatal("no ring traffic recorded")
+	}
+}
+
+// TestSyncerValidation covers construction and protocol errors.
+func TestSyncerValidation(t *testing.T) {
+	cfg, specs := testSpecs(2, 64, 8)
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("no layers must fail")
+	}
+	bad := append([]LayerSpec(nil), specs...)
+	bad[0].DenseElems = 1000
+	if _, err := New(cfg, bad); err == nil {
+		t.Fatal("dense prefix past the layer must fail")
+	}
+	cfg.Strategy = "warp-drive"
+	if _, err := New(cfg, specs); err == nil {
+		t.Fatal("unknown strategy must fail")
+	}
+	cfg.Strategy = StrategyNoOverlap
+	s, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("Finish before Collect must fail")
+	}
+	g0, _ := disjointGrads(1, 2, 64)
+	if err := s.Collect(5, g0); err == nil {
+		t.Fatal("unknown layer must fail")
+	}
+	if err := s.Collect(0, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("wrong element count must fail")
+	}
+	if err := s.Collect(0, g0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Collect(0, g0); err == nil {
+		t.Fatal("double collect must fail")
+	}
+	g1, _ := disjointGrads(2, 2, 64)
+	if err := s.Collect(1, g1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("double Finish must fail")
+	}
+}

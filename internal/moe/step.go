@@ -1,0 +1,329 @@
+package moe
+
+// This file is the executable counterpart of the paper's §5 training
+// step: backward through a stack of multi-rank MoE layers with the
+// Gradient-AllReduce adaptively partitioned into the backward pipelines'
+// inter-stream slack (internal/gradsync), then an SGD update that every
+// rank applies to its own parameter replica. StepWorlds asserts the §5
+// contract by construction: the synchronized gradients — and therefore
+// the stepped replicas — are bit-identical on every rank under every
+// strategy, because each flat gradient element has exactly one non-zero
+// contributor (RankGrads) and the restricted ring is byte-identical under
+// any slicing (comm.RingAllReduceChunk).
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gradsync"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+// gradElemBytes is the accounting size of one gradient element (fp32
+// master gradients, matching Expert.ParamBytes); the executable buffers
+// are float64, but the §5 byte planning runs in the simulator's units.
+const gradElemBytes = 4
+
+// actElemBytes mirrors workload.ActivationBytes (fp16 activations) for
+// the AlltoAll volumes fed to the degree optimizer inside the partitioner.
+const actElemBytes = 2
+
+// StepConfig configures one overlapped training step over a stack of
+// Worlds.
+type StepConfig struct {
+	LR       float64           // SGD learning rate (0 still validates the sync path)
+	Strategy gradsync.Strategy // default StrategyFSMoE
+
+	// Train enables training-only gate behaviour in the forward pass
+	// (e.g. GShard's noisy gating). Strategy comparisons on separately
+	// built stacks should leave it false: gate-internal RNG state would
+	// otherwise make the routing — and so the step — run-dependent.
+	Train bool
+
+	// Models drives PartitionGradients and the emitted tasks' simulated
+	// durations; the zero value defaults to Testbed A's exact models.
+	Models     core.Models
+	RMax       int     // Algorithm-1 degree cap inside the partitioner (default 16)
+	ChunkBytes float64 // Lina fixed-chunk size (default 30 MiB)
+	Slices     int     // AllReduce slices per hidden window (default 4)
+
+	// Sequential executes every stream plan on one goroutine (the
+	// no-overlap measurement baseline whose per-task durations feed
+	// Plan.SimulateWith predictions). Strategies still place their
+	// AllReduce slices identically; only the executor changes.
+	Sequential bool
+}
+
+func (c StepConfig) withDefaults() StepConfig {
+	if c.Strategy == "" {
+		c.Strategy = gradsync.StrategyFSMoE
+	}
+	if c.Models == (core.Models{}) {
+		c.Models = core.ModelsFromCluster(topology.TestbedA())
+	}
+	return c
+}
+
+// StepResult is one measured training step.
+type StepResult struct {
+	ForwardMS  float64 // summed measured forward-plan makespans
+	BackwardMS float64 // summed measured backward-plan makespans (incl. hidden AllReduce)
+	TailMS     float64 // measured exposed Gradient-AllReduce tail
+	Report     gradsync.Report
+
+	// RankParams[r] is rank r's post-step parameter replica in the
+	// GradElems layout, layers concatenated in stack order. All rows are
+	// bit-identical across ranks and across strategies.
+	RankParams [][]float64
+
+	// Plans and Traces hold each layer's backward stream plan and measured
+	// trace in backward (reverse stack) order; the AllReduce slices appear
+	// as "AllReduce"-kind tasks on the inter stream.
+	Plans  []*runtime.Plan
+	Traces []*sim.Trace
+
+	Y  *tensor.Tensor // final forward output
+	DX *tensor.Tensor // input gradient
+}
+
+// StepMS is the step's measured wall time: backward plus the exposed
+// tail. Forward is reported separately — gradient synchronization never
+// touches it.
+func (r *StepResult) StepMS() float64 { return r.BackwardMS + r.TailMS }
+
+// Step runs a single-layer training step; see StepWorlds.
+func (w *World) Step(x, dy *tensor.Tensor, cfg StepConfig) (*StepResult, error) {
+	return StepWorlds([]*World{w}, x, dy, cfg)
+}
+
+// StepWorlds runs one training step over a stack of Worlds (layer i's
+// output feeds layer i+1): forward through the stack, backward in
+// reverse with the §5 Gradient-AllReduce overlapped into each layer's
+// backward plan per the strategy, the exposed tail, and an SGD update.
+// Gradients of layers whose backward already finished are the pending
+// pool each earlier layer's plan may hide, exactly the backward-order
+// greedy fill of §5.2; layer 0's own gradients (and any unhidden
+// remainder) are the tail.
+func StepWorlds(worlds []*World, x, dy *tensor.Tensor, cfg StepConfig) (*StepResult, error) {
+	cfg = cfg.withDefaults()
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("moe: step needs at least one world")
+	}
+	ranks := worlds[0].cfg.Ranks
+	for i, w := range worlds {
+		if w.cfg.Ranks != ranks {
+			return nil, fmt.Errorf("moe: world %d has %d ranks, world 0 has %d", i, w.cfg.Ranks, ranks)
+		}
+	}
+	// The executor mode is scoped to this step; restore whatever the
+	// caller had configured on the worlds afterwards.
+	prevSeq := make([]bool, len(worlds))
+	for i, w := range worlds {
+		prevSeq[i] = w.seq
+		w.layer.ZeroGrad()
+		w.SetSequential(cfg.Sequential)
+	}
+	defer func() {
+		for i, w := range worlds {
+			w.SetSequential(prevSeq[i])
+		}
+	}()
+
+	res := &StepResult{}
+
+	// Forward chain.
+	caches := make([]*WorldCache, len(worlds))
+	cur := x
+	for i, w := range worlds {
+		y, cache, err := w.Forward(cur, cfg.Train)
+		if err != nil {
+			return nil, fmt.Errorf("moe: step forward layer %d: %w", i, err)
+		}
+		caches[i] = cache
+		res.ForwardMS += w.LastTrace().Makespan
+		cur = y
+	}
+	res.Y = cur
+
+	// Register every layer with the syncer using live volumes (the padded
+	// capacity each forward actually dispatched).
+	specs := make([]gradsync.LayerSpec, len(worlds))
+	for i, w := range worlds {
+		total, dense := w.GradElems()
+		specs[i] = gradsync.LayerSpec{Elems: total, DenseElems: dense, V: stepVolumes(w, caches[i].tpad)}
+	}
+	syncer, err := gradsync.New(gradsync.Config{
+		Strategy:    cfg.Strategy,
+		Models:      cfg.Models,
+		RMax:        cfg.RMax,
+		ChunkBytes:  cfg.ChunkBytes,
+		Slices:      cfg.Slices,
+		ElemBytes:   gradElemBytes,
+		GPUsPerNode: worlds[0].cfg.GPUsPerNode,
+	}, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Backward chain in reverse, overlapping the pending pool into each
+	// layer's plan, then collecting the layer's own partial gradients.
+	dcur := dy
+	for i := len(worlds) - 1; i >= 0; i-- {
+		w := worlds[i]
+		syncer.StartLayer(i)
+		w.SetBackwardSyncer(syncer)
+		dx, err := w.Backward(caches[i], dcur)
+		w.SetBackwardSyncer(nil)
+		if err != nil {
+			return nil, fmt.Errorf("moe: step backward layer %d: %w", i, err)
+		}
+		res.BackwardMS += w.LastTrace().Makespan
+		res.Plans = append(res.Plans, w.LastPlan())
+		res.Traces = append(res.Traces, w.LastTrace())
+		if err := syncer.Collect(i, w.RankGrads()); err != nil {
+			return nil, err
+		}
+		dcur = dx
+	}
+	res.DX = dcur
+
+	rep, err := syncer.Finish()
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	res.TailMS = rep.TailMS
+
+	return res, applySGD(worlds, syncer, cfg.LR, ranks, res)
+}
+
+// applySGD builds every rank's post-step replica from the synchronized
+// gradients and writes the (identical) rank-0 replica back into the
+// shared parameters, so the stack trains for real.
+func applySGD(worlds []*World, syncer *gradsync.Syncer, lr float64, ranks int, res *StepResult) error {
+	total := 0
+	for _, w := range worlds {
+		n, _ := w.GradElems()
+		total += n
+	}
+	res.RankParams = make([][]float64, ranks)
+	for r := range res.RankParams {
+		res.RankParams[r] = make([]float64, 0, total)
+	}
+	for i, w := range worlds {
+		grads := syncer.LayerGrads(i)
+		if grads == nil {
+			return fmt.Errorf("moe: layer %d has no synchronized gradients", i)
+		}
+		off := 0
+		for _, p := range w.layer.Params() {
+			wd := p.W.Data()
+			for r := 0; r < ranks; r++ {
+				g := grads[r][off : off+len(wd)]
+				buf := res.RankParams[r]
+				for k, v := range wd {
+					buf = append(buf, v-lr*g[k])
+				}
+				res.RankParams[r] = buf
+			}
+			off += len(wd)
+		}
+	}
+	// The replicas are bit-identical; commit rank 0's to the live layers.
+	off := 0
+	for _, w := range worlds {
+		for _, p := range w.layer.Params() {
+			wd := p.W.Data()
+			copy(wd, res.RankParams[0][off:off+len(wd)])
+			off += len(wd)
+		}
+	}
+	return nil
+}
+
+// stepVolumes derives the §5 accounting volumes for one world from its
+// live shapes: per-GPU AlltoAll bytes from the padded dispatched tokens,
+// expert MACs from the live expert implementations, gradient bytes from
+// the flattened parameter count, and a nominal dense window (the stack
+// has no real dense compute between MoE layers).
+func stepVolumes(w *World, tpad int) core.Volumes {
+	R, mdim := w.cfg.Ranks, w.layer.cfg.M
+	experts := w.layer.cfg.Experts
+	eg := w.egrp
+	nA2A := float64(tpad*eg*mdim) * actElemBytes // per-rank wire volume of one A2A
+	macs := 0.0
+	for _, ex := range experts {
+		macs += ex.FwdMACs(tpad)
+	}
+	macs /= float64(R) // per-GPU share
+	gemms := 2
+	if _, ok := experts[0].(*MixtralFFN); ok {
+		gemms = 3
+	}
+	total, _ := w.GradElems()
+	return core.Volumes{
+		NA2A:      nA2A,
+		NAG:       nA2A,
+		NRS:       nA2A,
+		ExpMACs:   macs,
+		ExpGEMMs:  gemms,
+		DenseFwd:  0.1,
+		DenseBwd:  0.2,
+		GradBytes: float64(total) * gradElemBytes,
+	}
+}
+
+// SyncReport is the outcome of a standalone SyncWorlds call.
+type SyncReport struct {
+	Report gradsync.Report
+	// LayerGrads[i][r] is layer i's synchronized flat gradient on rank r
+	// (identical across ranks).
+	LayerGrads [][][]float64
+}
+
+// SyncWorlds synchronizes the stack's accumulated parameter gradients
+// right now, with no pipeline to hide in — the blocking entry point for
+// callers that drove Forward/Backward themselves. Every rank's partial
+// gradients are collected and ring-reduced to the identical full-batch
+// gradient; use StepWorlds to overlap the synchronization instead.
+func SyncWorlds(worlds []*World, cfg StepConfig) (*SyncReport, error) {
+	cfg = cfg.withDefaults()
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("moe: sync needs at least one world")
+	}
+	specs := make([]gradsync.LayerSpec, len(worlds))
+	for i, w := range worlds {
+		total, dense := w.GradElems()
+		// No forward cache here; account A2A volumes at the nominal padded
+		// capacity of zero — only GradBytes matters for a tail-only sync.
+		v := stepVolumes(w, 0)
+		specs[i] = gradsync.LayerSpec{Elems: total, DenseElems: dense, V: v}
+	}
+	syncer, err := gradsync.New(gradsync.Config{
+		Strategy:    gradsync.StrategyNoOverlap,
+		Models:      cfg.Models,
+		ElemBytes:   gradElemBytes,
+		GPUsPerNode: worlds[0].cfg.GPUsPerNode,
+	}, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := &SyncReport{LayerGrads: make([][][]float64, len(worlds))}
+	for i, w := range worlds {
+		if err := syncer.Collect(i, w.RankGrads()); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := syncer.Finish()
+	if err != nil {
+		return nil, err
+	}
+	out.Report = rep
+	for i := range worlds {
+		out.LayerGrads[i] = syncer.LayerGrads(i)
+	}
+	return out, nil
+}

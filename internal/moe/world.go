@@ -38,10 +38,29 @@ type World struct {
 	chunked bool // every expert implements ChunkedExpert
 
 	seq      bool // execute plans sequentially (no-overlap baseline)
+	sync     BackwardSyncer
 	stats    comm.Stats
 	lastPlan *runtime.Plan
 	lastTr   *sim.Trace
 }
+
+// BackwardSyncer receives inter-stream emit points while a backward plan
+// is under construction — the executable seam for §5's Gradient-AllReduce
+// overlap. BeginLayer announces how many points the plan will offer;
+// EmitAt may then append tasks to the plan on the shared inter stream at
+// each point: point 0 sits between the combine-gradient and
+// dispatch-gradient AlltoAll chains (the slack while expert chunks
+// compute), and point c ≥ 1 follows the c-th dispatch-gradient chunk.
+// Emitted tasks contend with the layer's own AlltoAll chunks for the
+// serialized inter stream, exactly the contention §5 budgets for.
+type BackwardSyncer interface {
+	BeginLayer(points int)
+	EmitAt(p *runtime.Plan, stream string, point int)
+}
+
+// SetBackwardSyncer installs (or, with nil, removes) the gradient-sync
+// hook driven by the next Backward calls.
+func (w *World) SetBackwardSyncer(s BackwardSyncer) { w.sync = s }
 
 // WorldConfig configures multi-rank execution.
 type WorldConfig struct {
@@ -461,6 +480,14 @@ func (w *World) Backward(cache *WorldCache, dy *tensor.Tensor) (*tensor.Tensor, 
 			estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(gsend, grecv, dims, rr), packIDs...)
 	}
 
+	// Gradient-sync emit point 0: AllReduce slices enqueued here run on the
+	// inter stream after the combine chain, in the slack while the expert
+	// chunks compute, before the first dispatch-gradient AlltoAll.
+	if w.sync != nil {
+		w.sync.BeginLayer(len(ranges) + 1)
+		w.sync.EmitAt(p, "inter", 0)
+	}
+
 	// Phase 2 — unpack + expert backward per chunk (dX rows only; weight
 	// gradients wait for phase 4).
 	expTask := make([][]int, len(ranges))
@@ -533,6 +560,11 @@ func (w *World) Backward(cache *WorldCache, dy *tensor.Tensor) (*tensor.Tensor, 
 		}
 		dgrad := p.Add(fmt.Sprintf("D[%d]", c), KindA2A, "inter",
 			estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(dsend, drecv, dims, rr), dgPackIDs...)
+		// Emit point c+1: slices here trail the c-th dispatch-gradient
+		// chunk, overlapping the landing packs and later expert chunks.
+		if w.sync != nil {
+			w.sync.EmitAt(p, "inter", c+1)
+		}
 		for i := 0; i < R; i++ {
 			i := i
 			p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
@@ -634,6 +666,61 @@ func padBlocks(src *tensor.Tensor, e, t, tpad, m int) *tensor.Tensor {
 		copy(dd[i*tpad*m:(i*tpad+t)*m], sd[i*t*m:(i+1)*t*m])
 	}
 	return dst
+}
+
+// GradElems returns the layer's flattened gradient length and the length
+// of its leading dense (gate) prefix — the same dense/MoE split the §5
+// simulator models with LayerSpec volumes. The flat layout is gate
+// parameters in Params() order followed by each expert's parameters in
+// expert-index order, matching MOELayer.Params.
+func (w *World) GradElems() (total, dense int) {
+	for _, p := range w.layer.cfg.Gate.Params() {
+		dense += len(p.G.Data())
+	}
+	total = dense
+	for _, ex := range w.layer.cfg.Experts {
+		for _, p := range ex.Params() {
+			total += len(p.G.Data())
+		}
+	}
+	return total, dense
+}
+
+// RankGrads materializes the per-rank partial parameter gradients of the
+// most recent backward pass in the GradElems layout: rank j contributes
+// the full gradient of its own expert shard (experts [j·Eg, (j+1)·Eg))
+// and a disjoint element shard of the dense (gate) gradient, zeros
+// elsewhere. Every element therefore has exactly one non-zero
+// contributor, so a Ring-AllReduce sum reconstructs the full-batch
+// gradient bit-exactly on every rank — adding zeros never rounds. (The
+// in-process ranks share one replicated gate computation, so the dense
+// shard models each data-parallel rank's disjoint contribution without
+// recomputing the gate backward R times; the AllReduce volume and the
+// synchronized values are exactly those of the real replication.)
+func (w *World) RankGrads() [][]float64 {
+	total, _ := w.GradElems()
+	R := w.cfg.Ranks
+	out := make([][]float64, R)
+	for r := range out {
+		out[r] = make([]float64, total)
+	}
+	off := 0
+	for _, p := range w.layer.cfg.Gate.Params() {
+		g := p.G.Data()
+		for r, rr := range comm.SplitFlat(len(g), R) {
+			copy(out[r][off+rr.Lo:off+rr.Hi], g[rr.Lo:rr.Hi])
+		}
+		off += len(g)
+	}
+	for e, ex := range w.layer.cfg.Experts {
+		owner := e / w.egrp
+		for _, p := range ex.Params() {
+			g := p.G.Data()
+			copy(out[owner][off:off+len(g)], g)
+			off += len(g)
+		}
+	}
+	return out
 }
 
 func unpadBlocks(src *tensor.Tensor, e, t, tpad, m int) *tensor.Tensor {
