@@ -112,8 +112,13 @@ func gradsyncStack() ([]*fsmoe.World, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Pin expert parallelism: the §5 comparison is about AllReduce
+		// slices contending with dispatch/combine AlltoAll on the inter
+		// stream, which only the EP/DenseSlots schedules have (ESP leaves
+		// the inter stream to the slices entirely).
 		ws[i], err = fsmoe.NewWorld(layer, fsmoe.WorldConfig{
 			Ranks: gradsyncRanks, PipelineDegree: gradsyncDegree,
+			Strategy: fsmoe.StrategyEP,
 		})
 		if err != nil {
 			return nil, err

@@ -9,40 +9,60 @@ import (
 	"repro/internal/runtime"
 )
 
-// realpipeConfig is one workload the executable runtime measures.
+// realpipeConfig is one workload the executable runtime measures — the
+// real-computable corner of the Table 4 grid (M × H sweep at fixed E,
+// comm-heavy vs compute-heavy regimes).
 type realpipeConfig struct {
 	name    string
 	m, h, e int
 	tokens  int
-	degree  int // pipeline degree r for both phases
+	degree  int // pipeline degree r for the fixed-degree comparison
 }
 
-// realpipe runs the executable stream runtime for real: for each workload
-// it executes one forward+backward pass of the multi-rank World at R=4
-// three ways — sequentially (no overlap), pipelined on real streams
-// (measured), and through the discrete-event simulator fed the measured
-// sequential stage durations (predicted) — and prints the three times side
-// by side. This is the §4 claim end to end: the same schedule artifact is
-// simulated and executed, and the measured overlap should track the
-// simulated one.
+func realpipeConfigs() []realpipeConfig {
+	return []realpipeConfig{
+		{name: "comm-heavy", m: 256, h: 64, e: 8, tokens: 1024, degree: 4},
+		{name: "compute-heavy", m: 128, h: 512, e: 8, tokens: 1024, degree: 4},
+	}
+}
+
+// realpipeStrategies are the hard-routing strategies the executable
+// runtime can compare on one workload (DenseSlots routes differently and
+// is exercised by the strategies bench instead).
+func realpipeStrategies() []fsmoe.Strategy {
+	return []fsmoe.Strategy{fsmoe.StrategyEP, fsmoe.StrategyESP}
+}
+
+// realpipe runs the executable stream runtime for real, per parallel
+// strategy: for each workload it executes one forward+backward pass of
+// the multi-rank World at R=4 three ways — sequentially (no overlap),
+// pipelined on real streams (measured), and through the discrete-event
+// simulator fed the measured sequential stage durations (predicted) —
+// then sweeps the pipeline degree grid and reports Algorithm 1's chosen
+// degree against the measured-optimal one. This is the §4 claim end to
+// end: the same schedule artifact is simulated and executed, per
+// strategy, and the degree the scheduler picks should track the degree
+// that actually wins.
 func realpipe() error {
 	const ranks = 4
 	fmt.Printf("== realpipe: measured vs simulated pipelining on the real-compute path (R=%d in-process ranks) ==\n", ranks)
-	configs := []realpipeConfig{
-		{name: "comm-heavy", m: 256, h: 64, e: 8, tokens: 2048, degree: 4},
-		{name: "compute-heavy", m: 128, h: 512, e: 8, tokens: 2048, degree: 4},
-	}
 	tb := report.NewTable("one fwd+bwd pass, ms (sequential = no-overlap baseline)",
-		"workload", "r", "algo1-r(fwd/bwd)", "sequential", "simulated-pipe", "measured-pipe", "speedup")
-	for _, cfg := range configs {
-		row, err := runRealpipe(cfg, ranks)
-		if err != nil {
-			return err
+		"workload", "strategy", "r", "sequential", "simulated-pipe", "measured-pipe", "speedup")
+	for _, cfg := range realpipeConfigs() {
+		for _, strat := range realpipeStrategies() {
+			row, err := runRealpipe(cfg, ranks, strat)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(row...)
 		}
-		tb.AddRow(row...)
 	}
 	fmt.Println(tb)
 	fmt.Println("simulated-pipe = DES makespan of the same stream plan with measured sequential stage durations")
+
+	if err := realpipeDegreeSweep(ranks); err != nil {
+		return err
+	}
 	if n := goruntime.GOMAXPROCS(0); n < 2 {
 		fmt.Printf("note: GOMAXPROCS=%d — streams cannot run in parallel on this machine, so measured-pipe\n"+
 			"cannot realize the overlap; simulated-pipe shows what a multi-core runner achieves.\n", n)
@@ -50,76 +70,136 @@ func realpipe() error {
 	return nil
 }
 
-// runRealpipe measures one configuration and returns its report row.
-func runRealpipe(cfg realpipeConfig, ranks int) ([]any, error) {
+// newRealpipeWorld builds one world for a workload; degree 0 asks
+// Algorithm 1.
+func newRealpipeWorld(cfg realpipeConfig, ranks, degree int, strat fsmoe.Strategy) (*fsmoe.Layer, *fsmoe.World, error) {
 	layer, err := fsmoe.NewLayer(fsmoe.LayerConfig{
 		M: cfg.m, H: cfg.h, Experts: cfg.e, TopK: 2, CapacityFactor: 1.2, Seed: 13,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	// What would Algorithm 1 pick for this shape? Reported alongside the
-	// fixed sweep degree so the scheduler and runtime stay in one story.
-	auto, err := fsmoe.NewWorld(layer, fsmoe.WorldConfig{Ranks: ranks, BatchTokens: cfg.tokens})
+	w, err := fsmoe.NewWorld(layer, fsmoe.WorldConfig{
+		Ranks: ranks, PipelineDegree: degree, Strategy: strat, BatchTokens: cfg.tokens,
+	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	autoF, autoB := auto.PipelineDegrees()
+	return layer, w, nil
+}
 
-	w, err := fsmoe.NewWorld(layer, fsmoe.WorldConfig{Ranks: ranks, PipelineDegree: cfg.degree})
+// measurePass runs one fwd+bwd pass and returns the summed makespans plus
+// the plans/traces of the two phases.
+func measurePass(layer *fsmoe.Layer, w *fsmoe.World, x, dy *fsmoe.Tensor) (float64, []*fsmoe.StreamPlan, []*fsmoe.Trace, error) {
+	layer.ZeroGrad()
+	_, cache, err := w.Forward(x, false)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	plans := []*fsmoe.StreamPlan{w.LastPlan()}
+	traces := []*fsmoe.Trace{w.LastTrace()}
+	total := w.LastTrace().Makespan
+	if _, err = w.Backward(cache, dy); err != nil {
+		return 0, nil, nil, err
+	}
+	plans = append(plans, w.LastPlan())
+	traces = append(traces, w.LastTrace())
+	total += w.LastTrace().Makespan
+	return total, plans, traces, nil
+}
+
+// runRealpipe measures one (workload, strategy) pair at the fixed sweep
+// degree and returns its report row.
+func runRealpipe(cfg realpipeConfig, ranks int, strat fsmoe.Strategy) ([]any, error) {
+	layer, w, err := newRealpipeWorld(cfg, ranks, cfg.degree, strat)
 	if err != nil {
 		return nil, err
 	}
 	x := fsmoe.RandTensor(71, cfg.tokens, cfg.m)
 	dy := fsmoe.RandTensor(72, cfg.tokens, cfg.m)
 
-	pass := func() (fwd, bwd float64, fwdPlan, bwdPlan *fsmoe.StreamPlan, fwdTr, bwdTr *fsmoe.Trace, err error) {
-		layer.ZeroGrad()
-		_, cache, err := w.Forward(x, false)
-		if err != nil {
-			return 0, 0, nil, nil, nil, nil, err
-		}
-		fwdPlan, fwdTr = w.LastPlan(), w.LastTrace()
-		fwd = fwdTr.Makespan
-		if _, err = w.Backward(cache, dy); err != nil {
-			return 0, 0, nil, nil, nil, nil, err
-		}
-		bwdPlan, bwdTr = w.LastPlan(), w.LastTrace()
-		bwd = bwdTr.Makespan
-		return fwd, bwd, fwdPlan, bwdPlan, fwdTr, bwdTr, nil
-	}
-
 	// Warm up pools and the worker fleet once.
-	if _, _, _, _, _, _, err := pass(); err != nil {
+	if _, _, _, err := measurePass(layer, w, x, dy); err != nil {
 		return nil, err
 	}
 
 	// Sequential baseline: same plan, no overlap; its per-task durations
 	// feed the simulator's prediction of the pipelined makespan.
 	w.SetSequential(true)
-	seqF, seqB, fp, bp, ftr, btr, err := pass()
+	seq, plans, traces, err := measurePass(layer, w, x, dy)
 	if err != nil {
 		return nil, err
 	}
-	seq := seqF + seqB
-	sim := fp.SimulateWith(runtime.Durations(ftr)).Makespan +
-		bp.SimulateWith(runtime.Durations(btr)).Makespan
+	sim := 0.0
+	for i, p := range plans {
+		sim += p.SimulateWith(runtime.Durations(traces[i])).Makespan
+	}
 
 	// Measured pipelined execution.
 	w.SetSequential(false)
-	pipeF, pipeB, _, _, _, _, err := pass()
+	pipe, _, _, err := measurePass(layer, w, x, dy)
 	if err != nil {
 		return nil, err
 	}
-	pipe := pipeF + pipeB
 
 	return []any{
 		fmt.Sprintf("%s M=%d H=%d E=%d N=%d", cfg.name, cfg.m, cfg.h, cfg.e, cfg.tokens),
+		string(strat),
 		cfg.degree,
-		fmt.Sprintf("%d/%d", autoF, autoB),
 		fmt.Sprintf("%.1f", seq),
 		fmt.Sprintf("%.1f", sim),
 		fmt.Sprintf("%.1f", pipe),
 		fmt.Sprintf("%.2fx", seq/pipe),
 	}, nil
+}
+
+// realpipeDegreeSweep executes every workload × strategy across the
+// degree grid and prints Algorithm 1's per-phase choice next to the
+// measured-optimal degree.
+func realpipeDegreeSweep(ranks int) error {
+	degrees := []int{1, 2, 4, 8}
+	fmt.Println("== realpipe degree sweep: Algorithm 1's choice vs the measured optimum ==")
+	header := []string{"workload", "strategy", "algo1-r(fwd/bwd)"}
+	for _, r := range degrees {
+		header = append(header, fmt.Sprintf("r=%d", r))
+	}
+	header = append(header, "best-r")
+	tb := report.NewTable("one fwd+bwd pass per degree, ms (measured, pipelined)", header...)
+	for _, cfg := range realpipeConfigs() {
+		x := fsmoe.RandTensor(73, cfg.tokens, cfg.m)
+		dy := fsmoe.RandTensor(74, cfg.tokens, cfg.m)
+		for _, strat := range realpipeStrategies() {
+			// Algorithm 1's per-phase choice for this workload + strategy.
+			_, auto, err := newRealpipeWorld(cfg, ranks, 0, strat)
+			if err != nil {
+				return err
+			}
+			autoF, autoB := auto.PipelineDegrees()
+
+			row := []any{cfg.name, string(strat), fmt.Sprintf("%d/%d", autoF, autoB)}
+			bestR, bestT := 0, 0.0
+			for _, r := range degrees {
+				layer, w, err := newRealpipeWorld(cfg, ranks, r, strat)
+				if err != nil {
+					return err
+				}
+				if _, _, _, err := measurePass(layer, w, x, dy); err != nil { // warmup
+					return err
+				}
+				t, _, _, err := measurePass(layer, w, x, dy)
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.1f", t))
+				if bestR == 0 || t < bestT {
+					bestR, bestT = r, t
+				}
+			}
+			row = append(row, bestR)
+			tb.AddRow(row...)
+		}
+	}
+	fmt.Println(tb)
+	fmt.Println("algo1-r = Algorithm 1's forward/backward degrees on the strategy-specific volumes (Testbed A models)")
+	return nil
 }

@@ -31,7 +31,13 @@ func stack() []*fsmoe.World {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ws[i], err = fsmoe.NewWorld(layer, fsmoe.WorldConfig{Ranks: ranks, PipelineDegree: 2})
+		// StrategyEP pins the dispatch/combine AlltoAll pipeline, whose
+		// inter-stream slack is what the Gantt chart below shows the
+		// AllReduce slices filling (see examples/strategies for the other
+		// parallel schemes).
+		ws[i], err = fsmoe.NewWorld(layer, fsmoe.WorldConfig{
+			Ranks: ranks, PipelineDegree: 2, Strategy: fsmoe.StrategyEP,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -21,6 +21,37 @@
 //	times, err := fsmoe.CompareSystems(cluster, fsmoe.Mixtral7B(cluster))
 //	fmt.Println(times[fsmoe.SystemFSMoE], times[fsmoe.SystemDSMoE])
 //
+// # Parallel strategies
+//
+// The executable multi-rank runtime (NewWorld) splits one layer's work
+// across R in-process ranks under a pluggable parallel strategy, the
+// WorldConfig.Strategy field:
+//
+//   - StrategyEP — pure expert parallelism: experts sharded E/R per rank,
+//     tokens moved by r-chunked dispatch/combine AlltoAll on the shared
+//     inter stream;
+//   - StrategyESP — expert-sharding parallelism: every rank computes a
+//     shard of every expert (ShardedExpert), with chunked AllGather and
+//     ReduceScatter stages on the shared intra stream and an empty inter
+//     stream (so §5 Gradient-AllReduce slices overlap freely);
+//   - StrategyDenseSlots — SoftMoE dense plans chunked over expert slots
+//     instead of token rows, through the EP pipeline;
+//   - StrategyAuto (the zero value) — dense gates get DenseSlots, and
+//     hard-routing layers choose between EP and ESP by comparing
+//     Algorithm 1's predicted block times on strategy-specific volumes.
+//
+// Every strategy is bit-identical to the single-rank Layer path at every
+// (R, r); they differ only in which collectives move the data and where
+// the slack for gradient synchronization appears.
+//
+// Migrating from the pre-strategy WorldConfig: a zero Strategy field now
+// means StrategyAuto, which behaves like the old hard-coded EP for layers
+// whose experts lack the ShardedExpert contract, but may select ESP for
+// the built-in GPT/Mixtral experts (results are bit-identical either way)
+// and no longer rejects SoftMoE layers — dense plans execute under
+// DenseSlots instead of failing with "world supports hard routing only".
+// Pass Strategy: StrategyEP to pin the old behavior exactly.
+//
 // # Compute runtime
 //
 // The real tensor path runs on a shared runtime (internal/tensor): experts

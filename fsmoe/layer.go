@@ -18,6 +18,8 @@ type (
 	Order = moe.Order
 	// Expert is the expert-network contract.
 	Expert = moe.Expert
+	// ExpertCache is the opaque forward cache an Expert hands to Backward.
+	ExpertCache = moe.ExpertCache
 	// Dispatcher is the Dispatch/Combine sub-module contract.
 	Dispatcher = moe.Dispatcher
 	// Hooks carries the six non-invasive extension points of §3.1.

@@ -24,6 +24,16 @@ type (
 	A2AKind = comm.A2AAlgo
 	// CommStats is cumulative collective traffic.
 	CommStats = comm.Stats
+	// Strategy names a parallel execution scheme for the executable world.
+	Strategy = moe.Strategy
+	// ShardedExpert is the expert contract StrategyESP requires: GEMM
+	// stages sharded over hidden columns and token rows so a shard group
+	// can split one expert's compute bit-exactly (see moe.ShardedExpert).
+	// The built-in GPT and Mixtral experts implement it.
+	ShardedExpert = moe.ShardedExpert
+	// DenseRouter marks custom gates whose plans route densely
+	// (SoftMoE-style); StrategyAuto uses it to pick StrategyDenseSlots.
+	DenseRouter = moe.DenseRouter
 )
 
 // The three AlltoAll algorithms of §3.1's Dispatch sub-module.
@@ -33,34 +43,59 @@ const (
 	A2A2DH    = comm.A2A2DH
 )
 
+// The parallel strategies of the generalized MoE layer (§4): how one
+// layer's work is split across the world's ranks.
+const (
+	// StrategyAuto (the zero value) picks a strategy from the layer:
+	// dense-routing gates get StrategyDenseSlots, and hard-routing layers
+	// choose between StrategyEP and StrategyESP by comparing Algorithm 1's
+	// predicted MoE-block times on the testbed's performance models with
+	// each strategy's collective volumes (ESP requires every expert to
+	// implement ShardedExpert; otherwise EP is chosen).
+	StrategyAuto Strategy = ""
+	// StrategyEP is pure expert parallelism: experts sharded across ranks,
+	// tokens moved by r-chunked dispatch/combine AlltoAll.
+	StrategyEP = moe.StrategyEP
+	// StrategyESP is expert-sharding parallelism: every rank computes a
+	// shard of every expert, with chunked AllGather/ReduceScatter stages
+	// on the shared intra stream.
+	StrategyESP = moe.StrategyESP
+	// StrategyDenseSlots runs dense (SoftMoE) plans through the EP
+	// pipeline chunked over expert slots instead of token rows.
+	StrategyDenseSlots = moe.StrategyDenseSlots
+)
+
 // WorldConfig configures multi-rank pipelined execution of a Layer.
 //
-// PipelineDegree selects the number of token chunks r each dispatch and
-// combine AlltoAll is split into. Zero means automatic: Algorithm 1 (§4.4)
-// runs on the testbed's fitted performance models with volumes derived
-// from the layer's real shape and BatchTokens, separately per phase — the
-// chosen degrees are what actually execute, closing the loop between the
-// scheduler and the runtime.
+// Strategy selects the parallel scheme; the zero value is StrategyAuto.
+// PipelineDegree selects the number of chunks r each collective chain is
+// split into. Zero means automatic: Algorithm 1 (§4.4) runs on the
+// testbed's fitted performance models with volumes derived from the
+// layer's real shape, BatchTokens and the chosen strategy, separately per
+// phase — the chosen degrees are what actually execute, closing the loop
+// between the scheduler and the runtime.
 type WorldConfig struct {
-	Ranks             int     // R; the layer's experts are sharded E/R per rank
-	PipelineDegree    int     // forward r; 0 = Algorithm 1
-	PipelineDegreeBwd int     // backward r; 0 inherits (auto mode optimizes it separately)
-	Algo              A2AKind // AlltoAll algorithm (default Direct)
-	GPUsPerNode       int     // node shape for 1DH/2DH (default Ranks)
+	Ranks             int      // R; how the layer is sharded depends on Strategy
+	PipelineDegree    int      // forward r; 0 = Algorithm 1
+	PipelineDegreeBwd int      // backward r; 0 inherits (auto mode optimizes it separately)
+	Algo              A2AKind  // AlltoAll algorithm for EP/DenseSlots (default Direct)
+	GPUsPerNode       int      // node shape for 1DH/2DH and ring Stats (default Ranks)
+	Strategy          Strategy // parallel scheme (default StrategyAuto)
 
-	// Auto-degree inputs, used only when PipelineDegree == 0.
+	// Inputs to StrategyAuto and the automatic pipeline degrees.
 	Cluster     *Cluster // testbed whose models drive Algorithm 1 (default TestbedA)
 	BatchTokens int      // B·L tokens per iteration (default 4096)
 }
 
-// World executes a Layer expert-parallel across in-process ranks with
-// chunked AlltoAll dispatch/combine pipelined on real streams. Forward and
-// Backward are bit-identical to the Layer's single-rank path for every
-// hard-routing gate.
+// World executes a Layer across in-process ranks under a pluggable
+// parallel strategy, with chunked collectives pipelined on real streams.
+// Forward and Backward are bit-identical to the Layer's single-rank path
+// under every strategy.
 type World struct {
 	inner      *moe.World
 	degF, degB core.DegreeResult
 	auto       bool
+	autoStrat  bool
 }
 
 // NewWorld builds the executable multi-rank runtime for a layer.
@@ -69,21 +104,36 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 		return nil, fmt.Errorf("fsmoe: NewWorld needs a layer")
 	}
 	w := &World{}
+	cluster := cfg.Cluster
+	if cluster == nil {
+		cluster = topology.TestbedA()
+	}
+	tokens := cfg.BatchTokens
+	if tokens <= 0 {
+		tokens = 4096
+	}
+	m := core.ModelsFromCluster(cluster)
+
+	strat := cfg.Strategy
+	var autoDegF, autoDegB core.DegreeResult
+	haveDegrees := false
+	if strat == StrategyAuto {
+		strat, autoDegF, autoDegB, haveDegrees = chooseStrategy(l, m, tokens)
+		w.autoStrat = true
+	}
+
 	degF, degB := cfg.PipelineDegree, cfg.PipelineDegreeBwd
 	if degF == 0 {
 		w.auto = true
-		cluster := cfg.Cluster
-		if cluster == nil {
-			cluster = topology.TestbedA()
+		if haveDegrees {
+			// The strategy comparison already ran Algorithm 1 on the
+			// winner's volumes; reuse its per-phase results.
+			w.degF, w.degB = autoDegF, autoDegB
+		} else {
+			v := layerVolumes(l, tokens, strat)
+			w.degF = m.FindOptimalPipelineDegree(v, 0, core.Forward, 16)
+			w.degB = m.FindOptimalPipelineDegree(v, 0, core.Backward, 16)
 		}
-		tokens := cfg.BatchTokens
-		if tokens <= 0 {
-			tokens = 4096
-		}
-		v := layerVolumes(l, tokens)
-		m := core.ModelsFromCluster(cluster)
-		w.degF = m.FindOptimalPipelineDegree(v, 0, core.Forward, 16)
-		w.degB = m.FindOptimalPipelineDegree(v, 0, core.Backward, 16)
 		degF = w.degF.R
 		// An explicit backward degree overrides Algorithm 1's choice even
 		// in auto mode.
@@ -99,6 +149,7 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 		ChunksBwd:   degB,
 		Algo:        cfg.Algo,
 		GPUsPerNode: cfg.GPUsPerNode,
+		Strategy:    strat,
 	})
 	if err != nil {
 		return nil, err
@@ -107,12 +158,44 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 	return w, nil
 }
 
-// layerVolumes derives Algorithm-1 scheduling volumes from the real layer:
-// AlltoAll bytes from the nominal dispatched token count, intra-stream
-// bytes from the wire-layout (un)pack stages (which move the same volume),
-// and expert MACs / gradient bytes from the live expert implementations —
-// so custom experts steer the degree through their own FwdMACs/ParamBytes.
-func layerVolumes(l *Layer, tokens int) Volumes {
+// chooseStrategy is StrategyAuto: dense routers shard over slots; hard
+// routers pick the cheaper of EP and ESP under Algorithm 1 (§4.4) on the
+// strategy-specific collective volumes, with ESP eligible only when every
+// expert implements the sharded contract. When the comparison ran, the
+// winner's per-phase degree results are returned for reuse (haveDegrees
+// true), saving the caller an identical pair of searches.
+func chooseStrategy(l *Layer, m core.Models, tokens int) (strat Strategy, degF, degB core.DegreeResult, haveDegrees bool) {
+	if dr, ok := l.inner.Gate().(moe.DenseRouter); ok && dr.DenseRouting() {
+		return StrategyDenseSlots, degF, degB, false
+	}
+	for _, ex := range l.inner.Experts() {
+		if _, ok := ex.(moe.ShardedExpert); !ok {
+			return StrategyEP, degF, degB, false
+		}
+	}
+	espF, espB := phaseDegrees(m, layerVolumes(l, tokens, StrategyESP))
+	epF, epB := phaseDegrees(m, layerVolumes(l, tokens, StrategyEP))
+	if espF.TMoE+espB.TMoE < epF.TMoE+epB.TMoE {
+		return StrategyESP, espF, espB, true
+	}
+	return StrategyEP, epF, epB, true
+}
+
+// phaseDegrees runs Algorithm 1 for both phases on one volume set.
+func phaseDegrees(m core.Models, v Volumes) (f, b core.DegreeResult) {
+	f = m.FindOptimalPipelineDegree(v, 0, core.Forward, 16)
+	b = m.FindOptimalPipelineDegree(v, 0, core.Backward, 16)
+	return f, b
+}
+
+// layerVolumes derives Algorithm-1 scheduling volumes from the real layer
+// under one strategy: the strategy decides which collectives carry the
+// dispatched activations — EP and DenseSlots move them twice over the
+// AlltoAll links, ESP moves them through the AllGather/ReduceScatter
+// stages plus the hidden-activation exchange — and expert MACs / gradient
+// bytes come from the live expert implementations, so custom experts
+// steer the choice through their own FwdMACs/ParamBytes/HiddenWidth.
+func layerVolumes(l *Layer, tokens int, strat Strategy) Volumes {
 	cfg := l.cfg
 	effF := cfg.CapacityFactor
 	if effF <= 0 {
@@ -122,26 +205,39 @@ func layerVolumes(l *Layer, tokens int) Volumes {
 	if k < 1 {
 		k = 1
 	}
-	dispatched := float64(k) * effF * float64(tokens)
-	nA2A := dispatched * float64(cfg.M) * workload.ActivationBytes
 	experts := l.inner.Experts()
+	dispatched := float64(k) * effF * float64(tokens)
+	if strat == StrategyDenseSlots {
+		// Dense plans dispatch E·slotsPerExpert slot rows, independent of
+		// the token count.
+		slots := cfg.SlotsPerExpert
+		if slots < 1 {
+			slots = 1
+		}
+		dispatched = float64(len(experts) * slots)
+	}
+	wire := dispatched * float64(cfg.M) * workload.ActivationBytes
 	perExpert := int(dispatched) / len(experts)
 	if perExpert < 1 {
 		perExpert = 1
 	}
-	macs, gradBytes := 0.0, 0.0
+	macs, gradBytes, hidden := 0.0, 0.0, 0.0
 	for _, e := range experts {
 		macs += e.FwdMACs(perExpert)
 		gradBytes += e.ParamBytes()
+		if se, ok := e.(moe.ShardedExpert); ok {
+			// One Volumes set feeds both phases' degree searches, so the
+			// hidden exchange is averaged over the forward and backward
+			// band counts (Mixtral exchanges two backward bands).
+			hidden += float64(se.HiddenWidth()) * float64(se.FwdBands()+se.BwdBands()) / 2
+		}
 	}
+	hiddenWire := hidden / float64(len(experts)) * dispatched * workload.ActivationBytes
 	gemms := 2
 	if cfg.Expert == ExpertMixtral {
 		gemms = 3
 	}
-	return Volumes{
-		NA2A:     nA2A,
-		NAG:      nA2A,
-		NRS:      nA2A,
+	v := Volumes{
 		ExpMACs:  macs,
 		ExpGEMMs: gemms,
 		// The dense part is outside the World's pipeline; a nominal floor
@@ -150,6 +246,15 @@ func layerVolumes(l *Layer, tokens int) Volumes {
 		DenseBwd:  0.2,
 		GradBytes: gradBytes,
 	}
+	if strat == StrategyESP {
+		// Two gather stages (inputs, then hidden activations) and the
+		// output ReduceScatter; no AlltoAll at all.
+		v.NAG = wire + hiddenWire
+		v.NRS = wire
+	} else {
+		v.NA2A = wire
+	}
+	return v
 }
 
 // Forward runs the pipelined multi-rank forward pass on x, shaped
@@ -163,11 +268,16 @@ func (w *World) Backward(cache *WorldCache, dy *Tensor) (*Tensor, error) {
 	return w.inner.Backward(cache, dy)
 }
 
-// Ranks returns R; Chunked reports whether the chunk-granular expert path
+// Ranks returns R; Chunked reports whether the fine-grained expert path
 // is active (custom experts without the chunked contract fall back to
-// whole-block compute with chunked communication).
+// whole-block compute with chunked communication under EP/DenseSlots).
 func (w *World) Ranks() int    { return w.inner.Ranks() }
 func (w *World) Chunked() bool { return w.inner.Chunked() }
+
+// Strategy returns the parallel scheme in effect; AutoStrategy reports
+// whether it was chosen automatically.
+func (w *World) Strategy() Strategy { return w.inner.Strategy() }
+func (w *World) AutoStrategy() bool { return w.autoStrat }
 
 // PipelineDegrees returns the forward and backward chunk counts in effect.
 func (w *World) PipelineDegrees() (fwd, bwd int) { return w.inner.Degrees() }
@@ -183,7 +293,7 @@ func (w *World) AutoDegree() bool { return w.auto }
 // and a single-goroutine no-overlap baseline; results are identical.
 func (w *World) SetSequential(seq bool) { w.inner.SetSequential(seq) }
 
-// Stats returns cumulative AlltoAll traffic across passes.
+// Stats returns cumulative collective traffic across passes.
 func (w *World) Stats() CommStats { return w.inner.Stats() }
 
 // LastPlan and LastTrace expose the most recent pass's stream plan and

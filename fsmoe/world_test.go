@@ -1,8 +1,22 @@
 package fsmoe
 
 import (
+	"strings"
 	"testing"
 )
+
+// plainExpert implements only the base Expert contract — no chunked or
+// sharded fast paths — for strategy-validation tests.
+type plainExpert struct{ id int }
+
+func (*plainExpert) Name() string { return "plain" }
+func (*plainExpert) Forward(x *Tensor) (*Tensor, ExpertCache) {
+	return x.Clone(), nil
+}
+func (*plainExpert) Backward(_ ExpertCache, dy *Tensor) *Tensor { return dy.Clone() }
+func (*plainExpert) Params() []*Param                           { return nil }
+func (*plainExpert) FwdMACs(n int) float64                      { return float64(n) }
+func (*plainExpert) ParamBytes() float64                        { return 0 }
 
 func worldTestLayer(t *testing.T) *Layer {
 	t.Helper()
@@ -106,5 +120,118 @@ func TestWorldExplicitBwdDegree(t *testing.T) {
 	fwd, bwd := w.PipelineDegrees()
 	if fwd != 4 || bwd != 2 {
 		t.Fatalf("degrees (%d, %d), want (4, 2)", fwd, bwd)
+	}
+}
+
+// TestWorldStrategySurface: explicit strategies execute bit-identically
+// to the Layer path, and each reports its name.
+func TestWorldStrategySurface(t *testing.T) {
+	x := RandTensor(95, 96, 32)
+	dy := RandTensor(96, 96, 32)
+	for _, strat := range []Strategy{StrategyEP, StrategyESP} {
+		layer := worldTestLayer(t)
+		layer.ZeroGrad()
+		wantY, cache, err := layer.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDx, err := layer.Backward(cache, dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(layer, WorldConfig{Ranks: 4, PipelineDegree: 2, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Strategy() != strat || w.AutoStrategy() {
+			t.Fatalf("strategy = %q auto=%v, want explicit %q", w.Strategy(), w.AutoStrategy(), strat)
+		}
+		layer.ZeroGrad()
+		gotY, wc, err := w.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDx, err := w.Backward(wc, dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotY.MaxAbsDiff(wantY) != 0 || gotDx.MaxAbsDiff(wantDx) != 0 {
+			t.Fatalf("strategy %s differs from the layer path", strat)
+		}
+	}
+}
+
+// TestWorldAutoStrategy: StrategyAuto resolves from the layer — dense
+// gates get DenseSlots (and the previously rejected SoftMoE world now
+// runs end to end), and a hard-routing layer gets a hard strategy whose
+// degrees come from that strategy's volumes.
+func TestWorldAutoStrategy(t *testing.T) {
+	soft, err := NewLayer(LayerConfig{
+		M: 32, H: 48, Experts: 8, TopK: 1, CapacityFactor: 1,
+		Gate: GateSoftMoE, SlotsPerExpert: 3, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandTensor(97, 96, 32)
+	dy := RandTensor(98, 96, 32)
+	soft.ZeroGrad()
+	wantY, cache, err := soft.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDx, err := soft.Backward(cache, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(soft, WorldConfig{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Strategy() != StrategyDenseSlots || !w.AutoStrategy() {
+		t.Fatalf("auto strategy for SoftMoE = %q (auto=%v), want %q", w.Strategy(), w.AutoStrategy(), StrategyDenseSlots)
+	}
+	soft.ZeroGrad()
+	gotY, wc, err := w.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDx, err := w.Backward(wc, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotY.MaxAbsDiff(wantY) != 0 || gotDx.MaxAbsDiff(wantDx) != 0 {
+		t.Fatal("dense-slots world differs from the layer path")
+	}
+
+	hard := worldTestLayer(t)
+	hw, err := NewWorld(hard, WorldConfig{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := hw.Strategy(); s != StrategyEP && s != StrategyESP {
+		t.Fatalf("auto strategy for hard routing = %q", s)
+	}
+	if !hw.AutoDegree() {
+		t.Fatal("auto strategy should still run Algorithm 1 for the degrees")
+	}
+}
+
+// TestWorldESPRequiresShardedExperts: the public surface propagates the
+// strategy-aware validation message.
+func TestWorldESPRequiresShardedExperts(t *testing.T) {
+	layer, err := NewLayer(LayerConfig{
+		M: 32, H: 16, Experts: 2, TopK: 1, CapacityFactor: 1, Seed: 3,
+		CustomExperts: []Expert{&plainExpert{id: 0}, &plainExpert{id: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewWorld(layer, WorldConfig{Ranks: 2, PipelineDegree: 1, Strategy: StrategyESP})
+	if err == nil {
+		t.Fatal("ESP with plain custom experts must fail")
+	}
+	if !strings.Contains(err.Error(), string(StrategyESP)) || !strings.Contains(err.Error(), "ShardedExpert") {
+		t.Fatalf("error must name the strategy and the missing contract: %v", err)
 	}
 }

@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
 
 // blockView validates and returns the per-destination block size of an
 // AlltoAll input: each rank's buffer is p equal blocks, block d destined to
@@ -17,21 +21,57 @@ func blockView(data [][]float64) (int, error) {
 	return n / p, nil
 }
 
+// checkInto validates an Into-style destination: p rank buffers of b·p
+// elements each (the same layout the allocating entry points return).
+func checkInto(out [][]float64, p, b int) error {
+	if len(out) != p {
+		return fmt.Errorf("comm: alltoall destination has %d ranks, want %d", len(out), p)
+	}
+	for r := range out {
+		if len(out[r]) != b*p {
+			return fmt.Errorf("comm: alltoall destination rank %d has %d elements, want %d", r, len(out[r]), b*p)
+		}
+	}
+	return nil
+}
+
+// allocRanks returns p freshly allocated rank buffers of n elements.
+func allocRanks(p, n int) [][]float64 {
+	out := make([][]float64, p)
+	for r := range out {
+		out[r] = make([]float64, n)
+	}
+	return out
+}
+
 // DirectAlltoAll is the flat NCCL algorithm: every rank sends block d
 // straight to rank d — p·(p-1) point-to-point messages.
 // out[d] = data[0][d] ‖ data[1][d] ‖ … (blocks ordered by source).
 func DirectAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Stats, error) {
+	b, err := blockView(data)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := allocRanks(len(data), b*len(data))
+	st, err := DirectAlltoAllInto(out, data, gpusPerNode)
+	return out, st, err
+}
+
+// DirectAlltoAllInto is DirectAlltoAll writing into caller-owned result
+// buffers (out[d] must be b·p elements), so pipelined callers can draw
+// them from the tensor free-list instead of allocating inside measured
+// collective intervals.
+func DirectAlltoAllInto(out, data [][]float64, gpusPerNode int) (Stats, error) {
 	var st Stats
 	b, err := blockView(data)
 	if err != nil {
-		return nil, st, err
+		return st, err
 	}
 	p := len(data)
-	w := world{g: gpusPerNode}
-	out := make([][]float64, p)
-	for d := 0; d < p; d++ {
-		out[d] = make([]float64, b*p)
+	if err := checkInto(out, p, b); err != nil {
+		return st, err
 	}
+	w := world{g: gpusPerNode}
 	for s := 0; s < p; s++ {
 		for d := 0; d < p; d++ {
 			copy(out[d][s*b:(s+1)*b], data[s][d*b:(d+1)*b])
@@ -40,7 +80,7 @@ func DirectAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Stats, erro
 			}
 		}
 	}
-	return out, st, nil
+	return st, nil
 }
 
 // Hierarchical1DAlltoAll is Hetu's 1DH algorithm: GPUs in a node first
@@ -49,32 +89,59 @@ func DirectAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Stats, erro
 // arrivals within its node. It trades 2 extra intra-node hops for
 // nodes·(nodes-1) instead of p·(p-1) inter-node messages.
 func Hierarchical1DAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Stats, error) {
+	b, err := blockView(data)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := allocRanks(len(data), b*len(data))
+	st, err := Hierarchical1DAlltoAllInto(out, data, gpusPerNode)
+	return out, st, err
+}
+
+// Hierarchical1DAlltoAllInto is Hierarchical1DAlltoAll with caller-owned
+// result buffers. The leader and arrival staging arenas come from the
+// shared tensor free-list (one dense arena per node instead of p² block
+// allocations), keeping GC churn out of measured intervals; the byte
+// movement and Stats are identical to the allocating variant.
+func Hierarchical1DAlltoAllInto(out, data [][]float64, gpusPerNode int) (Stats, error) {
 	var st Stats
 	b, err := blockView(data)
 	if err != nil {
-		return nil, st, err
+		return st, err
 	}
 	p := len(data)
+	if err := checkInto(out, p, b); err != nil {
+		return st, err
+	}
 	g := gpusPerNode
 	if g <= 0 || p%g != 0 {
-		return nil, st, fmt.Errorf("comm: %d ranks not divisible into nodes of %d", p, g)
+		return st, fmt.Errorf("comm: %d ranks not divisible into nodes of %d", p, g)
 	}
 	nodes := p / g
-	// leaderBuf[node][src][dst] = block from src to dst, gathered on the
-	// node leader. src is a global rank in the node; dst any global rank.
-	leader := make([][][]float64, nodes)
+	// leader[nd] holds, on the node leader, every block of node nd's g
+	// sources: slot ((s - nd·g)·p + d) is the block from source s to
+	// destination d. arrived[nd] holds, after the leader exchange, every
+	// block destined to node nd's g ranks: slot (s·g + (d - nd·g)).
+	leader := make([]*tensor.Tensor, nodes)
+	arrived := make([]*tensor.Tensor, nodes)
 	for nd := 0; nd < nodes; nd++ {
-		leader[nd] = make([][]float64, p*p)
+		leader[nd] = tensor.GetUninit(g * p * b)
+		arrived[nd] = tensor.GetUninit(p * g * b)
 	}
-	at := func(src, dst int) int { return src*p + dst }
+	defer func() {
+		for nd := 0; nd < nodes; nd++ {
+			tensor.Put(leader[nd])
+			tensor.Put(arrived[nd])
+		}
+	}()
 	// Phase 1: gather to leader.
 	for s := 0; s < p; s++ {
 		nd := s / g
 		lead := nd * g
+		ld := leader[nd].Data()
 		for d := 0; d < p; d++ {
-			blk := make([]float64, b)
-			copy(blk, data[s][d*b:(d+1)*b])
-			leader[nd][at(s, d)] = blk
+			off := ((s-nd*g)*p + d) * b
+			copy(ld[off:off+b], data[s][d*b:(d+1)*b])
 			if s != lead {
 				st.add(true, b)
 			}
@@ -82,16 +149,16 @@ func Hierarchical1DAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Sta
 	}
 	// Phase 2: leaders exchange across nodes. Leader nd sends to leader nd'
 	// everything destined to ranks of node nd'.
-	arrived := make([][][]float64, nodes)
 	for nd := 0; nd < nodes; nd++ {
-		arrived[nd] = make([][]float64, p*p)
-	}
-	for nd := 0; nd < nodes; nd++ {
+		ld := leader[nd].Data()
 		for nd2 := 0; nd2 < nodes; nd2++ {
+			ad := arrived[nd2].Data()
 			moved := 0
 			for s := nd * g; s < (nd+1)*g; s++ {
 				for d := nd2 * g; d < (nd2+1)*g; d++ {
-					arrived[nd2][at(s, d)] = leader[nd][at(s, d)]
+					src := ((s-nd*g)*p + d) * b
+					dst := (s*g + (d - nd2*g)) * b
+					copy(ad[dst:dst+b], ld[src:src+b])
 					moved += b
 				}
 			}
@@ -100,20 +167,20 @@ func Hierarchical1DAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Sta
 			}
 		}
 	}
-	// Phase 3: leaders scatter to their node's GPUs.
-	out := make([][]float64, p)
+	// Phase 3: leaders scatter to their node's GPUs, ordered by source.
 	for d := 0; d < p; d++ {
 		nd := d / g
 		lead := nd * g
-		out[d] = make([]float64, b*p)
+		ad := arrived[nd].Data()
 		for s := 0; s < p; s++ {
-			copy(out[d][s*b:(s+1)*b], arrived[nd][at(s, d)])
+			off := (s*g + (d - nd*g)) * b
+			copy(out[d][s*b:(s+1)*b], ad[off:off+b])
 			if d != lead {
 				st.add(true, b)
 			}
 		}
 	}
-	return out, st, nil
+	return st, nil
 }
 
 // Hierarchical2DAlltoAll is the 2DH algorithm of Tutel/DeepSpeed-MoE:
@@ -126,55 +193,75 @@ func Hierarchical1DAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Sta
 //	  aggregated per-node messages — nodes·(nodes-1) large messages per
 //	  local index instead of p·(p-1) small ones.
 func Hierarchical2DAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Stats, error) {
+	b, err := blockView(data)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := allocRanks(len(data), b*len(data))
+	st, err := Hierarchical2DAlltoAllInto(out, data, gpusPerNode)
+	return out, st, err
+}
+
+// Hierarchical2DAlltoAllInto is Hierarchical2DAlltoAll with caller-owned
+// result buffers and pooled regrouping arenas (one dense arena per rank
+// instead of p² block allocations); byte movement and Stats are identical
+// to the allocating variant.
+func Hierarchical2DAlltoAllInto(out, data [][]float64, gpusPerNode int) (Stats, error) {
 	var st Stats
 	b, err := blockView(data)
 	if err != nil {
-		return nil, st, err
+		return st, err
 	}
 	p := len(data)
+	if err := checkInto(out, p, b); err != nil {
+		return st, err
+	}
 	g := gpusPerNode
 	if g <= 0 || p%g != 0 {
-		return nil, st, fmt.Errorf("comm: %d ranks not divisible into nodes of %d", p, g)
+		return st, fmt.Errorf("comm: %d ranks not divisible into nodes of %d", p, g)
 	}
-	// mid[r][src*p+dst]: after phase 1, rank r=(node,l) holds blocks from
-	// every source in its node destined to any rank with local index l.
-	mid := make([][][]float64, p)
+	nodes := p / g
+	// mid[r] for r = (nd, l) holds, after phase 1, every block from node
+	// nd's g sources destined to a rank with local index l: slot
+	// ((s - nd·g)·nodes + d/g) is the block from source s to destination d
+	// (d ≡ l mod g, so d/g identifies it).
+	mid := make([]*tensor.Tensor, p)
 	for r := 0; r < p; r++ {
-		mid[r] = make([][]float64, p*p)
+		mid[r] = tensor.GetUninit(g * nodes * b)
 	}
-	at := func(src, dst int) int { return src*p + dst }
+	defer func() {
+		for r := 0; r < p; r++ {
+			tensor.Put(mid[r])
+		}
+	}()
 	for s := 0; s < p; s++ {
 		nd := s / g
 		for d := 0; d < p; d++ {
 			l := d % g
 			holder := nd*g + l
-			blk := make([]float64, b)
-			copy(blk, data[s][d*b:(d+1)*b])
-			mid[holder][at(s, d)] = blk
+			md := mid[holder].Data()
+			off := ((s-nd*g)*nodes + d/g) * b
+			copy(md[off:off+b], data[s][d*b:(d+1)*b])
 			if holder != s {
 				st.add(true, b)
 			}
 		}
 	}
 	// Phase 2: rank (node, l) sends to (node', l) all held blocks destined
-	// to node'.
-	fin := make([][][]float64, p)
-	for r := 0; r < p; r++ {
-		fin[r] = make([]([]float64), p*p)
-	}
-	for nd := 0; nd < p/g; nd++ {
+	// to node'. Because every held block's destination has local index l,
+	// the only in-node' destination is rank (node', l) itself, so the
+	// arrivals land directly in the source-ordered output layout.
+	for nd := 0; nd < nodes; nd++ {
 		for l := 0; l < g; l++ {
 			r := nd*g + l
-			for nd2 := 0; nd2 < p/g; nd2++ {
+			md := mid[r].Data()
+			for nd2 := 0; nd2 < nodes; nd2++ {
 				peer := nd2*g + l
 				moved := 0
-				for s := 0; s < p; s++ {
-					for d := nd2 * g; d < (nd2+1)*g; d++ {
-						if blk := mid[r][at(s, d)]; blk != nil {
-							fin[peer][at(s, d)] = blk
-							moved += b
-						}
-					}
+				for s := nd * g; s < (nd+1)*g; s++ {
+					off := ((s-nd*g)*nodes + nd2) * b
+					copy(out[peer][s*b:(s+1)*b], md[off:off+b])
+					moved += b
 				}
 				if nd != nd2 && moved > 0 {
 					st.add(false, moved)
@@ -182,20 +269,7 @@ func Hierarchical2DAlltoAll(data [][]float64, gpusPerNode int) ([][]float64, Sta
 			}
 		}
 	}
-	// Every block destined to d now sits on d (local index and node both
-	// match); order by source.
-	out := make([][]float64, p)
-	for d := 0; d < p; d++ {
-		out[d] = make([]float64, b*p)
-		for s := 0; s < p; s++ {
-			blk := fin[d][at(s, d)]
-			if blk == nil {
-				return nil, st, fmt.Errorf("comm: 2DH lost block %d→%d", s, d)
-			}
-			copy(out[d][s*b:(s+1)*b], blk)
-		}
-	}
-	return out, st, nil
+	return st, nil
 }
 
 // A2AAlgo names an AlltoAll implementation, the §3.1 Dispatch sub-module's
@@ -208,7 +282,7 @@ const (
 	A2A2DH    A2AAlgo = "2dh-tutel"
 )
 
-// AlltoAll dispatches to the named algorithm.
+// AlltoAll dispatches to the named algorithm, allocating the result.
 func AlltoAll(algo A2AAlgo, data [][]float64, gpusPerNode int) ([][]float64, Stats, error) {
 	switch algo {
 	case A2ADirect:
@@ -219,5 +293,20 @@ func AlltoAll(algo A2AAlgo, data [][]float64, gpusPerNode int) ([][]float64, Sta
 		return Hierarchical2DAlltoAll(data, gpusPerNode)
 	default:
 		return nil, Stats{}, fmt.Errorf("comm: unknown alltoall algorithm %q", algo)
+	}
+}
+
+// AlltoAllInto dispatches to the named algorithm's Into variant, writing
+// into caller-owned (typically pooled) result buffers.
+func AlltoAllInto(algo A2AAlgo, out, data [][]float64, gpusPerNode int) (Stats, error) {
+	switch algo {
+	case A2ADirect:
+		return DirectAlltoAllInto(out, data, gpusPerNode)
+	case A2A1DH:
+		return Hierarchical1DAlltoAllInto(out, data, gpusPerNode)
+	case A2A2DH:
+		return Hierarchical2DAlltoAllInto(out, data, gpusPerNode)
+	default:
+		return Stats{}, fmt.Errorf("comm: unknown alltoall algorithm %q", algo)
 	}
 }

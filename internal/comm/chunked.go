@@ -101,27 +101,34 @@ func AlltoAllRows(algo A2AAlgo, data, out [][]float64, gpusPerNode int, dims Blo
 	if rows == 0 {
 		return st, nil
 	}
-	// Staging buffers come from the shared tensor free-list: per-chunk
-	// pack/unpack allocations would otherwise sit inside measured AlltoAll
-	// intervals (GC churn lands identically in baseline and pipelined runs,
-	// but pooling tightens the absolute numbers).
+	// Staging and result buffers come from the shared tensor free-list:
+	// per-chunk pack/unpack (and result) allocations would otherwise sit
+	// inside measured AlltoAll intervals (GC churn lands identically in
+	// baseline and pipelined runs, but pooling tightens the absolute
+	// numbers). The Into algorithm variants keep their internal regrouping
+	// arenas pooled too.
 	w := dims.Width
 	sub := make([][]float64, p)
-	staged := make([]*tensor.Tensor, p)
+	res := make([][]float64, p)
+	staged := make([]*tensor.Tensor, 0, 2*p)
 	defer func() {
 		for _, t := range staged {
 			tensor.Put(t)
 		}
 	}()
 	for r := 0; r < p; r++ {
-		staged[r] = tensor.GetUninit(rows * w * p)
-		sub[r] = staged[r].Data()
+		in := tensor.GetUninit(rows * w * p)
+		staged = append(staged, in)
+		sub[r] = in.Data()
 		for d := 0; d < p; d++ {
 			src := data[r][d*b+rr.Lo*w : d*b+rr.Hi*w]
 			copy(sub[r][d*rows*w:(d+1)*rows*w], src)
 		}
+		rt := tensor.GetUninit(rows * w * p)
+		staged = append(staged, rt)
+		res[r] = rt.Data()
 	}
-	res, st, err := AlltoAll(algo, sub, gpusPerNode)
+	st, err = AlltoAllInto(algo, res, sub, gpusPerNode)
 	if err != nil {
 		return st, err
 	}

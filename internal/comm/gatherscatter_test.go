@@ -1,0 +1,213 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// TestRingIntoVariantsMatchAllocating: the Into variants of the ring
+// AllGather/ReduceScatter and of the three AlltoAll algorithms move the
+// same bytes and report the same Stats as their allocating originals.
+func TestRingIntoVariantsMatchAllocating(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nodes := 1 + r.Intn(3)
+		g := 1 + r.Intn(3)
+		p := nodes * g
+		n := p * (1 + r.Intn(4))
+		data := randWorld(r, p, n)
+
+		wantAG, stAG, err := RingAllGather(data, g)
+		if err != nil {
+			return false
+		}
+		gotAG := make([][]float64, p)
+		for i := range gotAG {
+			gotAG[i] = make([]float64, n*p)
+		}
+		stAG2, err := RingAllGatherInto(gotAG, data, g)
+		if err != nil || stAG != stAG2 || !worldsEqual(wantAG, gotAG) {
+			return false
+		}
+
+		wantRS, stRS, err := RingReduceScatter(data, g)
+		if err != nil {
+			return false
+		}
+		gotRS := make([][]float64, p)
+		for i := range gotRS {
+			gotRS[i] = make([]float64, n/p)
+		}
+		stRS2, err := RingReduceScatterInto(gotRS, data, g)
+		if err != nil || stRS != stRS2 || !worldsEqual(wantRS, gotRS) {
+			return false
+		}
+
+		for _, algo := range []A2AAlgo{A2ADirect, A2A1DH, A2A2DH} {
+			want, st, err := AlltoAll(algo, data, g)
+			if err != nil {
+				return false
+			}
+			got := make([][]float64, p)
+			for i := range got {
+				got[i] = make([]float64, n)
+			}
+			st2, err := AlltoAllInto(algo, got, data, g)
+			if err != nil || st != st2 || !worldsEqual(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunkedAllGatherBitIdentical: any chunking of the row dimension
+// reassembles the monolithic RingAllGather byte for byte, with the same
+// total traffic.
+func TestChunkedAllGatherBitIdentical(t *testing.T) {
+	r := xrand.New(7)
+	const p, rows, width = 4, 6, 3
+	data := randWorld(r, p, rows*width)
+	want, wantSt, err := RingAllGather(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := BlockDims{Rows: rows, Width: width}
+	for _, chunks := range []int{1, 2, 3, 4, 6, 9} {
+		got, st, err := ChunkedAllGather(data, 2, dims, chunks, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !worldsEqual(want, got) {
+			t.Fatalf("chunks=%d: chunked allgather differs from monolithic", chunks)
+		}
+		if st.IntraVolume+st.InterVolume != wantSt.IntraVolume+wantSt.InterVolume {
+			t.Fatalf("chunks=%d: volume %v+%v, want %v+%v", chunks,
+				st.IntraVolume, st.InterVolume, wantSt.IntraVolume, wantSt.InterVolume)
+		}
+	}
+}
+
+// TestChunkedReduceScatterBitIdentical: the restricted ReduceScatter keeps
+// the monolithic ring's per-element addition order, so any tiling is
+// byte-identical to RingReduceScatter.
+func TestChunkedReduceScatterBitIdentical(t *testing.T) {
+	r := xrand.New(11)
+	const p, rows, width = 4, 5, 3
+	data := randWorld(r, p, p*rows*width)
+	want, wantSt, err := RingReduceScatter(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := BlockDims{Rows: rows, Width: width}
+	for _, chunks := range []int{1, 2, 3, 5, 8} {
+		got, st, err := ChunkedReduceScatter(data, 2, dims, chunks, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !worldsEqual(want, got) {
+			t.Fatalf("chunks=%d: chunked reduce-scatter differs from monolithic", chunks)
+		}
+		if st.IntraVolume+st.InterVolume != wantSt.IntraVolume+wantSt.InterVolume {
+			t.Fatalf("chunks=%d: traffic volume mismatch", chunks)
+		}
+	}
+}
+
+// TestGatherScatterRowsPartial: a restricted collective touches only the
+// requested rows of the output.
+func TestGatherScatterRowsPartial(t *testing.T) {
+	r := xrand.New(13)
+	const p, rows, width = 2, 4, 2
+	dims := BlockDims{Rows: rows, Width: width}
+	data := randWorld(r, p, rows*width)
+	out := make([][]float64, p)
+	for i := range out {
+		out[i] = make([]float64, p*rows*width)
+		for j := range out[i] {
+			out[i][j] = -99
+		}
+	}
+	rr := RowRange{Lo: 1, Hi: 3}
+	if _, err := AllGatherRows(data, out, p, dims, rr); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < p; d++ {
+		for s := 0; s < p; s++ {
+			for row := 0; row < rows; row++ {
+				off := s*rows*width + row*width
+				inRange := row >= rr.Lo && row < rr.Hi
+				for j := 0; j < width; j++ {
+					got := out[d][off+j]
+					if inRange && got != data[s][row*width+j] {
+						t.Fatalf("dst %d src %d row %d: got %v", d, s, row, got)
+					}
+					if !inRange && got != -99 {
+						t.Fatalf("dst %d src %d row %d touched outside range", d, s, row)
+					}
+				}
+			}
+		}
+	}
+
+	partials := randWorld(r, p, p*rows*width)
+	rsOut := make([][]float64, p)
+	for i := range rsOut {
+		rsOut[i] = make([]float64, rows*width)
+		for j := range rsOut[i] {
+			rsOut[i][j] = -99
+		}
+	}
+	if _, err := ReduceScatterRows(partials, rsOut, p, dims, rr); err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := RingReduceScatter(partials, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		for row := 0; row < rows; row++ {
+			inRange := row >= rr.Lo && row < rr.Hi
+			for j := 0; j < width; j++ {
+				got := rsOut[i][row*width+j]
+				if inRange && got != full[i][row*width+j] {
+					t.Fatalf("rank %d row %d: got %v want %v", i, row, got, full[i][row*width+j])
+				}
+				if !inRange && got != -99 {
+					t.Fatalf("rank %d row %d touched outside range", i, row)
+				}
+			}
+		}
+	}
+}
+
+// TestGatherScatterRowsErrors covers the argument validation.
+func TestGatherScatterRowsErrors(t *testing.T) {
+	dims := BlockDims{Rows: 2, Width: 2}
+	good := [][]float64{make([]float64, 4), make([]float64, 4)}
+	big := [][]float64{make([]float64, 8), make([]float64, 8)}
+	rr := RowRange{Lo: 0, Hi: 2}
+	if _, err := AllGatherRows(good, good, 0, dims, rr); err == nil {
+		t.Fatal("undersized allgather destination must fail")
+	}
+	if _, err := AllGatherRows(good, big, 0, dims, RowRange{Lo: 0, Hi: 3}); err == nil {
+		t.Fatal("out-of-range rows must fail")
+	}
+	if _, err := ReduceScatterRows(big, big, 0, dims, rr); err == nil {
+		t.Fatal("oversized reduce-scatter destination must fail")
+	}
+	if _, err := ReduceScatterRows(nil, nil, 0, dims, rr); err == nil {
+		t.Fatal("empty world must fail")
+	}
+	if _, err := RingAllGatherInto(good, good, 0); err == nil {
+		t.Fatal("undersized RingAllGatherInto destination must fail")
+	}
+	if _, err := RingReduceScatterInto(good, good, 0); err == nil {
+		t.Fatal("oversized RingReduceScatterInto destination must fail")
+	}
+}

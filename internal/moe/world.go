@@ -9,33 +9,28 @@ import (
 	"repro/internal/tensor"
 )
 
-// World executes one MOELayer expert-parallel across R in-process ranks
-// over real comm AlltoAll collectives, with the dispatch and combine
-// split into r token chunks and driven through the stream runtime — the
-// executable counterpart of the schedules internal/core builds for the
-// simulator (§4.1).
+// World executes one MOELayer across R in-process ranks over real comm
+// collectives, driven through the stream runtime — the executable
+// counterpart of the schedules internal/core builds for the simulator
+// (§4.1). World itself owns only what every parallel scheme shares: the
+// gate/order prolog and epilog, slot padding, plan execution and trace
+// capture. How the layer's work is split across ranks — which collectives
+// move what, on which streams, interleaved how — is delegated entirely to
+// a ParallelStrategy (strategy.go): pure expert parallelism (EP), sharded
+// expert compute with AllGather/ReduceScatter stages (ESP), or the dense
+// slot-chunked SoftMoE scheme (DenseSlots).
 //
 // Data layout: the gate and order run once on the global batch (they are
 // replicated in expert-parallel training); the resulting (E, T, M)
 // expert-major tensor is sharded by slot rows — rank i owns rows
-// [i·S, (i+1)·S) of every expert's block, S = ⌈T/R⌉ — and experts are
-// sharded by index — rank j owns experts [j·E/R, (j+1)·E/R). The dispatch
-// AlltoAll therefore moves rank i's slot rows for expert group j to rank
-// j; because the AlltoAll orders arrivals by source rank and the shards
-// are contiguous row ranges, every expert sees exactly the rows of the
-// single-rank layer in the same order, making the whole pass bit-identical
-// to MOELayer.Forward/Backward at any (R, r).
-//
-// Streams: one global "inter" stream serializes the AlltoAll chunk
-// collectives (the NIC of Figs. 3–4); each rank owns an "intra:<rank>"
-// stream for local (un)packing between the wire layout and the expert
-// blocks and a "compute:<rank>" stream for expert math. Expert chunk c
-// can compute while chunk c+1 is on the wire — measured, not simulated.
+// [i·S, (i+1)·S) of every expert's block, S = ⌈T/R⌉. What happens to those
+// shards from there is the strategy's business; every strategy is
+// bit-identical to MOELayer.Forward/Backward at any (R, r).
 type World struct {
-	layer   *MOELayer
-	cfg     WorldConfig
-	egrp    int  // experts per rank
-	chunked bool // every expert implements ChunkedExpert
+	layer *MOELayer
+	cfg   WorldConfig
+	egrp  int // experts per rank (expert-sharding owner groups)
+	strat ParallelStrategy
 
 	seq      bool // execute plans sequentially (no-overlap baseline)
 	sync     BackwardSyncer
@@ -48,11 +43,12 @@ type World struct {
 // is under construction — the executable seam for §5's Gradient-AllReduce
 // overlap. BeginLayer announces how many points the plan will offer;
 // EmitAt may then append tasks to the plan on the shared inter stream at
-// each point: point 0 sits between the combine-gradient and
-// dispatch-gradient AlltoAll chains (the slack while expert chunks
-// compute), and point c ≥ 1 follows the c-th dispatch-gradient chunk.
-// Emitted tasks contend with the layer's own AlltoAll chunks for the
-// serialized inter stream, exactly the contention §5 budgets for.
+// each point. Every strategy offers point 0 in the slack before its first
+// outbound gradient collective and point c ≥ 1 after the c-th one, so
+// emitted tasks contend with the layer's own inter-node chunks exactly as
+// §5 budgets for (under ESP the inter stream carries no AlltoAll at all,
+// so the slices overlap the intra-stream AllGather/ReduceScatter freely —
+// the §4 inter/intra co-scheduling).
 type BackwardSyncer interface {
 	BeginLayer(points int)
 	EmitAt(p *runtime.Plan, stream string, point int)
@@ -69,6 +65,7 @@ type WorldConfig struct {
 	ChunksBwd   int          // backward pipeline degree (<1 means ChunksFwd)
 	Algo        comm.A2AAlgo // AlltoAll algorithm (default Direct)
 	GPUsPerNode int          // node shape for 1DH/2DH and Stats (default Ranks)
+	Strategy    Strategy     // parallel scheme (default StrategyEP)
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
@@ -84,10 +81,17 @@ func (c WorldConfig) withDefaults() WorldConfig {
 	if c.GPUsPerNode <= 0 {
 		c.GPUsPerNode = c.Ranks
 	}
+	if c.Strategy == "" {
+		c.Strategy = StrategyEP
+	}
 	return c
 }
 
-// NewWorld validates the pairing of a layer and a world configuration.
+// NewWorld validates the pairing of a layer, a configuration and a
+// parallel strategy. Requirements every strategy shares are checked here;
+// strategy-specific ones (expert execution contracts, routing kinds) are
+// checked by the strategy itself so the error names the strategy and the
+// unsupported combination.
 func NewWorld(layer *MOELayer, cfg WorldConfig) (*World, error) {
 	if layer == nil {
 		return nil, fmt.Errorf("moe: world needs a layer")
@@ -116,26 +120,30 @@ func NewWorld(layer *MOELayer, cfg WorldConfig) (*World, error) {
 		return nil, fmt.Errorf("moe: world does not support layer hooks (they wrap the monolithic dispatch)")
 	}
 	if _, ok := layer.disp.(LocalDispatcher); !ok {
-		return nil, fmt.Errorf("moe: world replaces the layer dispatcher with real chunked AlltoAll; custom dispatcher %T would be bypassed", layer.disp)
+		return nil, fmt.Errorf("moe: world replaces the layer dispatcher with real collectives; custom dispatcher %T would be bypassed", layer.disp)
 	}
 	if layer.seqExperts {
 		return nil, fmt.Errorf("moe: world requires provably distinct expert instances (aliased experts cannot be sharded)")
 	}
-	chunked := true
-	for _, ex := range layer.cfg.Experts {
-		if _, ok := ex.(ChunkedExpert); !ok {
-			chunked = false
-			break
-		}
+	strat, err := strategyFor(cfg.Strategy)
+	if err != nil {
+		return nil, err
 	}
-	return &World{layer: layer, cfg: cfg, egrp: e / cfg.Ranks, chunked: chunked}, nil
+	if err := strat.Validate(layer, cfg); err != nil {
+		return nil, err
+	}
+	return &World{layer: layer, cfg: cfg, egrp: e / cfg.Ranks, strat: strat}, nil
 }
 
-// Ranks returns R and Chunked whether the chunk-granular expert path is in
-// effect (false falls back to whole-block expert compute per rank, with
-// the communication still chunked).
+// Ranks returns R and Chunked whether the fine-grained (chunk- or
+// shard-granular) expert path is in effect (false falls back to
+// whole-block expert compute per rank, with the communication still
+// chunked).
 func (w *World) Ranks() int    { return w.cfg.Ranks }
-func (w *World) Chunked() bool { return w.chunked }
+func (w *World) Chunked() bool { return w.strat.Chunked() }
+
+// Strategy returns the parallel scheme in effect.
+func (w *World) Strategy() Strategy { return w.strat.Name() }
 
 // Degrees returns the configured forward and backward pipeline degrees.
 func (w *World) Degrees() (fwd, bwd int) { return w.cfg.ChunksFwd, w.cfg.ChunksBwd }
@@ -145,7 +153,7 @@ func (w *World) Degrees() (fwd, bwd int) { return w.cfg.ChunksFwd, w.cfg.ChunksB
 // Results are identical either way; only the wall-clock differs.
 func (w *World) SetSequential(seq bool) { w.seq = seq }
 
-// Stats returns the cumulative AlltoAll traffic of every pass so far.
+// Stats returns the cumulative collective traffic of every pass so far.
 func (w *World) Stats() comm.Stats { return w.stats }
 
 // LastPlan and LastTrace return the stream plan and measured trace of the
@@ -154,78 +162,31 @@ func (w *World) Stats() comm.Stats { return w.stats }
 func (w *World) LastPlan() *runtime.Plan { return w.lastPlan }
 func (w *World) LastTrace() *sim.Trace   { return w.lastTr }
 
-// WorldCache carries a forward pass's state to Backward.
+// WorldCache carries a forward pass's state to Backward. The strategy
+// that built the forward plan owns sc.
 type WorldCache struct {
 	pr         *forwardProlog
 	spad, tpad int
-	xBlocks    []*tensor.Tensor // per rank (Eg, Tpad, M) expert inputs
-	outBlocks  []*tensor.Tensor // per rank (Eg, Tpad, M) expert outputs
-	ccs        [][]ChunkedCache // [rank][local expert], chunked mode
-	expCaches  [][]ExpertCache  // [rank][local expert], fallback mode
-	combined   *tensor.Tensor   // (E, T, M), the sequential layer's expertOut
+	combined   *tensor.Tensor // (E, T, M), the sequential layer's expertOut
+	sc         any            // strategy-private forward state
 }
 
 // Task kinds in the trace breakdown, matching internal/core's Table 2
 // vocabulary where the operations coincide.
 const (
 	KindA2A    = "AlltoAll"
+	KindAG     = "AllGather"
+	KindRS     = "ReduceScatter"
 	KindExpert = "Experts"
 	KindPack   = "Pack" // wire-layout (un)packing, the local Order work
 )
 
-// streams for rank r.
+// streams for rank r; collStream serializes a strategy's intra-node
+// collectives (the AG/RS stream of §4's inter/intra co-scheduling).
 func intraStream(r int) string   { return fmt.Sprintf("intra:%d", r) }
 func computeStream(r int) string { return fmt.Sprintf("compute:%d", r) }
 
-// wireOff is the offset of (t, el, m) inside one (S rows × Eg·M wide)
-// wire block.
-func wireOff(t, el, m, eg, mdim int) int { return (t*eg+el)*mdim + m }
-
-// xferGlobal copies chunk rows [rr.Lo, rr.Hi) of token-side rank i's slot
-// shard between the padded global (E, Tpad, M) expert-major buffer and
-// rank i's wire buffer, whose per-peer blocks are keyed by expert group.
-// toWire selects the direction. Every forward/backward pack stage on the
-// token side is this one loop, so wire-layout fixes cannot drift between
-// the passes.
-func xferGlobal(wire, global []float64, ranks, eg, mdim, spad, tpad, i int, rr comm.RowRange, toWire bool) {
-	blk := spad * eg * mdim
-	for p := 0; p < ranks; p++ {
-		wb := wire[p*blk : (p+1)*blk]
-		for el := 0; el < eg; el++ {
-			e := p*eg + el
-			for t := rr.Lo; t < rr.Hi; t++ {
-				woff := wireOff(t, el, 0, eg, mdim)
-				goff := (e*tpad + i*spad + t) * mdim
-				if toWire {
-					copy(wb[woff:woff+mdim], global[goff:goff+mdim])
-				} else {
-					copy(global[goff:goff+mdim], wb[woff:woff+mdim])
-				}
-			}
-		}
-	}
-}
-
-// xferLocal copies chunk rows between expert-side rank j's (Eg, Tpad, M)
-// block and rank j's wire buffer, whose per-peer blocks are keyed by the
-// token-side rank that owns each row segment.
-func xferLocal(wire, block []float64, ranks, eg, mdim, spad, tpad int, rr comm.RowRange, toWire bool) {
-	blk := spad * eg * mdim
-	for i := 0; i < ranks; i++ {
-		wb := wire[i*blk : (i+1)*blk]
-		for el := 0; el < eg; el++ {
-			for t := rr.Lo; t < rr.Hi; t++ {
-				woff := wireOff(t, el, 0, eg, mdim)
-				boff := (el*tpad + i*spad + t) * mdim
-				if toWire {
-					copy(wb[woff:woff+mdim], block[boff:boff+mdim])
-				} else {
-					copy(block[boff:boff+mdim], wb[woff:woff+mdim])
-				}
-			}
-		}
-	}
-}
+const collStream = "intra"
 
 // run executes a plan under the current mode, records it, and returns the
 // first task error.
@@ -242,190 +203,37 @@ func (w *World) run(p *runtime.Plan) error {
 }
 
 // Forward runs the pipelined multi-rank forward pass. Results are
-// bit-identical to MOELayer.Forward on the same layer and input.
+// bit-identical to MOELayer.Forward on the same layer and input under
+// every strategy.
 func (w *World) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *WorldCache, error) {
 	pr, err := w.layer.prolog(x, train)
 	if err != nil {
 		return nil, nil, err
 	}
-	if pr.plan.IsDense() {
-		return nil, nil, fmt.Errorf("moe: world supports hard routing only (dense SoftMoE plans have no token dimension to chunk)")
+	if err := w.strat.PlanCheck(pr.plan); err != nil {
+		return nil, nil, err
 	}
-	R, eg, mdim := w.cfg.Ranks, w.egrp, w.layer.cfg.M
+	R, mdim := w.cfg.Ranks, w.layer.cfg.M
 	plan := pr.plan
 	t := plan.Capacity
 	spad := (t + R - 1) / R
-	tpad := spad * R
-	ranges := comm.SplitRows(spad, w.cfg.ChunksFwd)
-	dims := comm.BlockDims{Rows: spad, Width: eg * mdim}
-	blk := dims.Elems()
+	cache := &WorldCache{pr: pr, spad: spad, tpad: spad * R}
 
-	// Wire and block buffers.
-	send := wireBuffers(R, R*blk)
-	recv := wireBuffers(R, R*blk)
-	csend := wireBuffers(R, R*blk)
-	crecv := wireBuffers(R, R*blk)
-	cache := &WorldCache{pr: pr, spad: spad, tpad: tpad}
-	cache.xBlocks = rankBlocks(R, eg, tpad, mdim)
-	cache.outBlocks = rankBlocks(R, eg, tpad, mdim)
-	combinedPad := tensor.New(plan.Experts, tpad, mdim)
+	// Padding the scattered tensor once up front lets every strategy's wire
+	// transfers share one slot-shard layout (pad rows are exact zeros
+	// throughout, so they never perturb a result).
+	scatPad := padBlocks(pr.scattered, plan.Experts, t, cache.tpad, mdim)
+	combinedPad := tensor.New(plan.Experts, cache.tpad, mdim)
 
-	// Per-expert chunk caches (chunked mode) span the full padded block.
-	if w.chunked {
-		cache.ccs = make([][]ChunkedCache, R)
-		for j := 0; j < R; j++ {
-			cache.ccs[j] = make([]ChunkedCache, eg)
-			for el := 0; el < eg; el++ {
-				cache.ccs[j][el] = w.expert(j, el).(ChunkedExpert).BeginChunked(
-					expertView(cache.xBlocks[j], el, tpad, mdim),
-					expertView(cache.outBlocks[j], el, tpad, mdim))
-			}
-		}
-	} else {
-		cache.expCaches = make([][]ExpertCache, R)
-		for j := 0; j < R; j++ {
-			cache.expCaches[j] = make([]ExpertCache, eg)
-		}
-	}
-
-	// Padding the scattered tensor once up front lets every wire transfer
-	// share the two xfer helpers (pad rows are exact zeros throughout).
-	scatPad := padBlocks(pr.scattered, plan.Experts, t, tpad, mdim).Data()
 	p := runtime.NewPlan()
-
-	// Phase 1 — pack + dispatch for every chunk. Enqueueing all dispatch
-	// collectives before any combine keeps the inter stream issuing them
-	// back to back (the Fig. 3c/d ordering core.buildForwardLayer uses):
-	// chunk c+1 is on the wire while chunk c computes, which is the whole
-	// point of the pipeline. Interleaving D and C per chunk would serialize
-	// D[c+1] behind C[c] — and C[c] waits on expert chunk c.
-	dispIDs := make([]int, len(ranges))
-	for c, rr := range ranges {
-		rr := rr
-		packIDs := make([]int, R)
-		for i := 0; i < R; i++ {
-			i := i
-			packIDs[i] = p.Add(fmt.Sprintf("P%d[%d]", c, i), KindPack, intraStream(i),
-				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferGlobal(send[i], scatPad, R, eg, mdim, spad, tpad, i, rr, true)
-					return nil
-				})
-		}
-		dispIDs[c] = p.Add(fmt.Sprintf("D[%d]", c), KindA2A, "inter",
-			estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(send, recv, dims, rr), packIDs...)
-	}
-
-	// Phase 2 — unpack + expert compute per chunk. expTask[c][j] is the
-	// task the chunk's combine pack on rank j must wait for.
-	expTask := w.emitForwardExperts(p, cache, recv, dispIDs, ranges)
-
-	// Phase 3 — combine every chunk back to the token side.
-	for c, rr := range ranges {
-		w.emitCombine(p, cache, combinedPad, csend, crecv, dims, rr, c, expTask[c])
-	}
+	w.strat.BuildForward(w, p, cache, scatPad, combinedPad)
 	if err := w.run(p); err != nil {
 		return nil, nil, err
 	}
 
-	cache.combined = unpadBlocks(combinedPad, plan.Experts, t, tpad, mdim)
+	cache.combined = unpadBlocks(combinedPad, plan.Experts, t, cache.tpad, mdim)
 	y := w.layer.epilog(cache.combined, plan, pr.flat.Dim(0), pr.shape)
 	return y, cache, nil
-}
-
-// emitForwardExperts adds phase 2 of the forward plan: per-chunk unpack of
-// the dispatch arrivals into the expert blocks and the expert compute on
-// them. It returns expTask[c][j], the task id chunk c's combine pack on
-// rank j depends on. Chunk-capable experts compute per chunk; fallback
-// experts compute the whole block once every chunk has landed (so every
-// expTask[c][j] is the same whole-block task).
-func (w *World) emitForwardExperts(p *runtime.Plan, cache *WorldCache, recv [][]float64, dispIDs []int, ranges []comm.RowRange) [][]int {
-	R, eg, mdim := w.cfg.Ranks, w.egrp, w.layer.cfg.M
-	spad, tpad := cache.spad, cache.tpad
-	expTask := make([][]int, len(ranges))
-	for c := range expTask {
-		expTask[c] = make([]int, R)
-	}
-	unpackDeps := make([][]int, R) // fallback mode: all unpack ids per rank
-	for c, rr := range ranges {
-		rr := rr
-		for j := 0; j < R; j++ {
-			j := j
-			unpack := p.Add(fmt.Sprintf("U%d[%d]", c, j), KindPack, intraStream(j),
-				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferLocal(recv[j], cache.xBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, false)
-					return nil
-				}, dispIDs[c])
-			if !w.chunked {
-				unpackDeps[j] = append(unpackDeps[j], unpack)
-				continue
-			}
-			expTask[c][j] = p.Add(fmt.Sprintf("E%d[%d]", c, j), KindExpert, computeStream(j),
-				w.expertEst(j, rr.Len()*R), func() error {
-					for el := 0; el < eg; el++ {
-						cc := cache.ccs[j][el]
-						ce := w.expert(j, el).(ChunkedExpert)
-						for i := 0; i < R; i++ {
-							ce.ForwardChunk(cc, i*spad+rr.Lo, i*spad+rr.Hi)
-						}
-					}
-					return nil
-				}, unpack)
-		}
-	}
-	if !w.chunked {
-		for j := 0; j < R; j++ {
-			j := j
-			id := p.Add(fmt.Sprintf("E[%d]", j), KindExpert, computeStream(j),
-				w.expertEst(j, tpad), func() error {
-					for el := 0; el < eg; el++ {
-						in := expertView(cache.xBlocks[j], el, tpad, mdim)
-						out := expertView(cache.outBlocks[j], el, tpad, mdim)
-						ex := w.expert(j, el)
-						if ie, ok := ex.(IntoExpert); ok {
-							cache.expCaches[j][el] = ie.ForwardInto(in, out)
-							continue
-						}
-						y, ec := ex.Forward(in)
-						cache.expCaches[j][el] = ec
-						copy(out.Data(), y.Data())
-					}
-					return nil
-				}, unpackDeps[j]...)
-			for c := range expTask {
-				expTask[c][j] = id
-			}
-		}
-	}
-	return expTask
-}
-
-// emitCombine adds the combine-side tasks for chunk c: per-rank pack of
-// the expert outputs into wire order (behind that rank's expert task for
-// the chunk), the chunk's combine AlltoAll on the shared inter stream, and
-// per-rank landing of the arrivals in the global padded combine buffer.
-func (w *World) emitCombine(p *runtime.Plan, cache *WorldCache, combinedPad *tensor.Tensor,
-	csend, crecv [][]float64, dims comm.BlockDims, rr comm.RowRange, c int, expDone []int) {
-	R, eg, mdim := w.cfg.Ranks, w.egrp, w.layer.cfg.M
-	spad, tpad := cache.spad, cache.tpad
-	packIDs := make([]int, R)
-	for j := 0; j < R; j++ {
-		j := j
-		packIDs[j] = p.Add(fmt.Sprintf("R%d[%d]", c, j), KindPack, intraStream(j),
-			estElems(R*eg*rr.Len()*mdim), func() error {
-				xferLocal(csend[j], cache.outBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, true)
-				return nil
-			}, expDone[j])
-	}
-	comb := p.Add(fmt.Sprintf("C[%d]", c), KindA2A, "inter",
-		estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(csend, crecv, dims, rr), packIDs...)
-	for i := 0; i < R; i++ {
-		i := i
-		p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
-			estElems(R*eg*rr.Len()*mdim), func() error {
-				xferGlobal(crecv[i], combinedPad.Data(), R, eg, mdim, spad, tpad, i, rr, false)
-				return nil
-			}, comb)
-	}
 }
 
 // Backward runs the pipelined multi-rank backward pass, accumulating the
@@ -441,180 +249,30 @@ func (w *World) Backward(cache *WorldCache, dy *tensor.Tensor) (*tensor.Tensor, 
 	if err != nil {
 		return nil, err
 	}
-	R, eg, mdim := w.cfg.Ranks, w.egrp, w.layer.cfg.M
+	mdim := w.layer.cfg.M
 	t := plan.Capacity
-	spad, tpad := cache.spad, cache.tpad
-	ranges := comm.SplitRows(spad, w.cfg.ChunksBwd)
-	dims := comm.BlockDims{Rows: spad, Width: eg * mdim}
-	blk := dims.Elems()
 
-	dpad := padBlocks(dExpertOut, plan.Experts, t, tpad, mdim)
-	dyBlocks := rankBlocks(R, eg, tpad, mdim)
-	dxBlocks := rankBlocks(R, eg, tpad, mdim)
-	dScatteredPad := tensor.New(plan.Experts, tpad, mdim)
-	gsend := wireBuffers(R, R*blk)
-	grecv := wireBuffers(R, R*blk)
-	dsend := wireBuffers(R, R*blk)
-	drecv := wireBuffers(R, R*blk)
+	dpad := padBlocks(dExpertOut, plan.Experts, t, cache.tpad, mdim)
+	dScatteredPad := tensor.New(plan.Experts, cache.tpad, mdim)
 
-	dpd := dpad.Data()
 	p := runtime.NewPlan()
-
-	// Phase 1 — pack + combine-gradient AlltoAll for every chunk (the
-	// adjoint of the forward combine), issued back to back on the inter
-	// stream like the forward dispatches: the same Fig. 3c/d ordering,
-	// here "all C, then all D", matching core.buildBackwardLayer.
-	combIDs := make([]int, len(ranges))
-	for c, rr := range ranges {
-		rr := rr
-		packIDs := make([]int, R)
-		for i := 0; i < R; i++ {
-			i := i
-			packIDs[i] = p.Add(fmt.Sprintf("P%d[%d]", c, i), KindPack, intraStream(i),
-				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferGlobal(gsend[i], dpd, R, eg, mdim, spad, tpad, i, rr, true)
-					return nil
-				})
-		}
-		combIDs[c] = p.Add(fmt.Sprintf("C[%d]", c), KindA2A, "inter",
-			estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(gsend, grecv, dims, rr), packIDs...)
-	}
-
-	// Gradient-sync emit point 0: AllReduce slices enqueued here run on the
-	// inter stream after the combine chain, in the slack while the expert
-	// chunks compute, before the first dispatch-gradient AlltoAll.
-	if w.sync != nil {
-		w.sync.BeginLayer(len(ranges) + 1)
-		w.sync.EmitAt(p, "inter", 0)
-	}
-
-	// Phase 2 — unpack + expert backward per chunk (dX rows only; weight
-	// gradients wait for phase 4).
-	expTask := make([][]int, len(ranges))
-	for c := range expTask {
-		expTask[c] = make([]int, R)
-	}
-	unpackDeps := make([][]int, R) // fallback mode
-	for c, rr := range ranges {
-		rr := rr
-		for j := 0; j < R; j++ {
-			j := j
-			unpack := p.Add(fmt.Sprintf("U%d[%d]", c, j), KindPack, intraStream(j),
-				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferLocal(grecv[j], dyBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, false)
-					return nil
-				}, combIDs[c])
-			if !w.chunked {
-				unpackDeps[j] = append(unpackDeps[j], unpack)
-				continue
-			}
-			expTask[c][j] = p.Add(fmt.Sprintf("E%d[%d]", c, j), KindExpert, computeStream(j),
-				w.expertEst(j, 2*rr.Len()*R), func() error {
-					for el := 0; el < eg; el++ {
-						ce := w.expert(j, el).(ChunkedExpert)
-						dyv := expertView(dyBlocks[j], el, tpad, mdim)
-						dxv := expertView(dxBlocks[j], el, tpad, mdim)
-						for i := 0; i < R; i++ {
-							ce.BackwardChunk(cache.ccs[j][el], dyv, dxv, i*spad+rr.Lo, i*spad+rr.Hi)
-						}
-					}
-					return nil
-				}, unpack)
-		}
-	}
-	if !w.chunked {
-		for j := 0; j < R; j++ {
-			j := j
-			id := p.Add(fmt.Sprintf("E[%d]", j), KindExpert, computeStream(j),
-				w.expertEst(j, 2*tpad), func() error {
-					for el := 0; el < eg; el++ {
-						ex := w.expert(j, el)
-						dyv := expertView(dyBlocks[j], el, tpad, mdim)
-						dxv := expertView(dxBlocks[j], el, tpad, mdim)
-						if ie, ok := ex.(IntoExpert); ok {
-							ie.BackwardInto(cache.expCaches[j][el], dyv, dxv)
-							continue
-						}
-						dxe := ex.Backward(cache.expCaches[j][el], dyv)
-						copy(dxv.Data(), dxe.Data())
-					}
-					return nil
-				}, unpackDeps[j]...)
-			for c := range expTask {
-				expTask[c][j] = id
-			}
-		}
-	}
-
-	// Phase 3 — dX pack + dispatch-gradient AlltoAll + landing per chunk.
-	for c, rr := range ranges {
-		rr := rr
-		dgPackIDs := make([]int, R)
-		for j := 0; j < R; j++ {
-			j := j
-			dgPackIDs[j] = p.Add(fmt.Sprintf("R%d[%d]", c, j), KindPack, intraStream(j),
-				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferLocal(dsend[j], dxBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, true)
-					return nil
-				}, expTask[c][j])
-		}
-		dgrad := p.Add(fmt.Sprintf("D[%d]", c), KindA2A, "inter",
-			estElems(R*R*eg*rr.Len()*mdim), w.a2aTask(dsend, drecv, dims, rr), dgPackIDs...)
-		// Emit point c+1: slices here trail the c-th dispatch-gradient
-		// chunk, overlapping the landing packs and later expert chunks.
-		if w.sync != nil {
-			w.sync.EmitAt(p, "inter", c+1)
-		}
-		for i := 0; i < R; i++ {
-			i := i
-			p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
-				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferGlobal(drecv[i], dScatteredPad.Data(), R, eg, mdim, spad, tpad, i, rr, false)
-					return nil
-				}, dgrad)
-		}
-	}
-
-	// Phase 4 — deferred full-block parameter-gradient reductions, off the
-	// communication critical path (§4.1's W-grad tasks). The last expert
-	// chunk on a rank implies every earlier one (stream order).
-	if w.chunked {
-		for j := 0; j < R; j++ {
-			j := j
-			p.Add(fmt.Sprintf("W[%d]", j), KindExpert, computeStream(j),
-				w.expertEst(j, tpad), func() error {
-					for el := 0; el < eg; el++ {
-						ce := w.expert(j, el).(ChunkedExpert)
-						ce.FinishBackward(cache.ccs[j][el], expertView(dyBlocks[j], el, tpad, mdim))
-					}
-					return nil
-				}, expTask[len(ranges)-1][j])
-		}
-	}
+	w.strat.BuildBackward(w, p, cache, dpad, dScatteredPad)
 	if err := w.run(p); err != nil {
 		return nil, err
 	}
 	cache.combined = nil // a cache drives at most one backward
 
-	dScattered := unpadBlocks(dScatteredPad, plan.Experts, t, tpad, mdim)
+	dScattered := unpadBlocks(dScatteredPad, plan.Experts, t, cache.tpad, mdim)
 	return w.layer.backwardFinish(dScattered, planGrad, pr.flat, pr.rc, plan, pr.shape), nil
 }
 
-// expert returns rank j's el-th local expert.
+// expert returns rank j's el-th local expert (the expert-sharding owner
+// mapping every strategy and RankGrads share).
 func (w *World) expert(j, el int) Expert { return w.layer.cfg.Experts[j*w.egrp+el] }
 
-// a2aTask wraps one chunk collective, accumulating traffic stats (safe:
-// all A2A tasks share the serialized "inter" stream).
-func (w *World) a2aTask(send, recv [][]float64, dims comm.BlockDims, rr comm.RowRange) func() error {
-	return func() error {
-		st, err := comm.AlltoAllRows(w.cfg.Algo, send, recv, w.cfg.GPUsPerNode, dims, rr)
-		if err != nil {
-			return err
-		}
-		w.stats.Merge(st)
-		return nil
-	}
-}
+// addStats accumulates collective traffic. Safe without locking: every
+// strategy issues its measured collectives on a single serialized stream.
+func (w *World) addStats(st comm.Stats) { w.stats.Merge(st) }
 
 // expertEst is a structural duration estimate (MMACs) of rank j's local
 // expert group for Simulate; the realpipe workflow replaces it with
@@ -623,6 +281,16 @@ func (w *World) a2aTask(send, recv [][]float64, dims comm.BlockDims, rr comm.Row
 func (w *World) expertEst(j, rows int) float64 {
 	macs := 0.0
 	for _, ex := range w.layer.cfg.Experts[j*w.egrp : (j+1)*w.egrp] {
+		macs += ex.FwdMACs(rows)
+	}
+	return macs / 1e6
+}
+
+// allExpertEst sums the whole layer's expert estimate for rows — the
+// per-rank share of a fully sharded (ESP) stage is this divided by R.
+func (w *World) allExpertEst(rows int) float64 {
+	macs := 0.0
+	for _, ex := range w.layer.cfg.Experts {
 		macs += ex.FwdMACs(rows)
 	}
 	return macs / 1e6
@@ -668,6 +336,18 @@ func padBlocks(src *tensor.Tensor, e, t, tpad, m int) *tensor.Tensor {
 	return dst
 }
 
+func unpadBlocks(src *tensor.Tensor, e, t, tpad, m int) *tensor.Tensor {
+	if t == tpad {
+		return src
+	}
+	dst := tensor.New(e, t, m)
+	dd, sd := dst.Data(), src.Data()
+	for i := 0; i < e; i++ {
+		copy(dd[i*t*m:(i+1)*t*m], sd[i*tpad*m:(i*tpad+t)*m])
+	}
+	return dst
+}
+
 // GradElems returns the layer's flattened gradient length and the length
 // of its leading dense (gate) prefix — the same dense/MoE split the §5
 // simulator models with LayerSpec volumes. The flat layout is gate
@@ -696,7 +376,10 @@ func (w *World) GradElems() (total, dense int) {
 // in-process ranks share one replicated gate computation, so the dense
 // shard models each data-parallel rank's disjoint contribution without
 // recomputing the gate backward R times; the AllReduce volume and the
-// synchronized values are exactly those of the real replication.)
+// synchronized values are exactly those of the real replication. Every
+// strategy accumulates an expert's parameter gradients on its owner rank
+// j = e/Eg — EP computes them there, ESP designates that shard-group
+// member — so the one-contributor invariant holds for all of them.)
 func (w *World) RankGrads() [][]float64 {
 	total, _ := w.GradElems()
 	R := w.cfg.Ranks
@@ -721,16 +404,4 @@ func (w *World) RankGrads() [][]float64 {
 		}
 	}
 	return out
-}
-
-func unpadBlocks(src *tensor.Tensor, e, t, tpad, m int) *tensor.Tensor {
-	if t == tpad {
-		return src
-	}
-	dst := tensor.New(e, t, m)
-	dd, sd := dst.Data(), src.Data()
-	for i := 0; i < e; i++ {
-		copy(dd[i*t*m:(i+1)*t*m], sd[i*tpad*m:(i*tpad+t)*m])
-	}
-	return dst
 }
