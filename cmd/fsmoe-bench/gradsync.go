@@ -91,11 +91,11 @@ func gradsyncExperiment() error {
 			fmt.Sprintf("%.2fx", baseline/meas.StepMS()),
 		)
 	}
-	fmt.Println(tb)
-	fmt.Println("simulated-pipe = DES makespan of the same backward plans (AllReduce slices included) with measured sequential stage durations, plus the measured tail")
+	emit(tb)
+	note("simulated-pipe = DES makespan of the same backward plans (AllReduce slices included) with measured sequential stage durations, plus the measured tail")
 	if n := goruntime.GOMAXPROCS(0); n < 2 {
-		fmt.Printf("note: GOMAXPROCS=%d — streams cannot run in parallel on this machine, so measured-pipe\n"+
-			"cannot realize the overlap; simulated-pipe shows what a multi-core runner achieves.\n", n)
+		note("note: GOMAXPROCS=%d — streams cannot run in parallel on this machine, so measured-pipe "+
+			"cannot realize the overlap; simulated-pipe shows what a multi-core runner achieves.", n)
 	}
 	return nil
 }
@@ -129,12 +129,19 @@ func gradsyncStack() ([]*fsmoe.World, error) {
 
 // runGradsyncStep steps a fresh stack under one strategy and executor
 // mode. A fresh stack per run keeps the comparisons fair: Step updates
-// parameters, and plans are single-shot.
+// parameters, and plans are single-shot. Each stack's scoped pools are
+// released before the next run so repetitions never measure against the
+// previous stack's leftover goroutines.
 func runGradsyncStep(x, dy *fsmoe.Tensor, strat fsmoe.SyncStrategy, sequential bool) (*fsmoe.StepResult, error) {
 	ws, err := gradsyncStack()
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		for _, w := range ws {
+			w.Close()
+		}
+	}()
 	return fsmoe.StepStack(ws, x, dy, fsmoe.StepConfig{
 		LR:         0.01,
 		Strategy:   strat,

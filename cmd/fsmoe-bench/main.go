@@ -31,8 +31,9 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|gradsync|all")
+	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|gradsync|calibrate|all")
 	sample := flag.Int("sample", 9, "evaluate every Nth Table 4 configuration (1 = all 1458)")
+	jsonOut := flag.Bool("json", false, "also write each experiment's tables to BENCH_<experiment>.json (perf-trajectory tracking)")
 	flag.Parse()
 
 	// Validate up front so a typo fails with the full menu instead of a
@@ -43,8 +44,16 @@ func main() {
 	}
 	runs := experimentTable()
 	for i, name := range names {
+		if *jsonOut {
+			beginJSONCapture(name)
+		}
 		if err := runs[name](*sample); err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			if err := writeJSONCapture(); err != nil {
+				fatal(err)
+			}
 		}
 		if i < len(names)-1 {
 			fmt.Println()
@@ -100,7 +109,7 @@ func table2() error {
 					cell(a2a), cell(ar), cell(ag), cell(rs), cell(exp), cell(others))
 			}
 		}
-		fmt.Println(tb)
+		emit(tb)
 	}
 	return nil
 }
@@ -125,7 +134,7 @@ func fig4() error {
 	}
 	for _, cse := range cases {
 		got := m.Classify(cse.v, cse.tgar, core.Backward, 2)
-		fmt.Printf("%s → classified %v\n", cse.name, got)
+		note("%s → classified %v", cse.name, got)
 		res, err := m.SimulateSingleLayer(cse.v, core.SystemFSMoE, core.BuildOptions{RMax: 2})
 		if err != nil {
 			return err
@@ -154,7 +163,7 @@ func fig5() error {
 		row("ReduceScatter", cm.RS)
 		row("AllReduce", cm.AR)
 		row("GEMM", cm.GEMM)
-		fmt.Println(tb)
+		emit(tb)
 	}
 	return nil
 }
@@ -195,7 +204,7 @@ func table5(sample int) error {
 	for _, sys := range systems {
 		tb.AddRow(string(sys), results[sys][0], results[sys][1])
 	}
-	fmt.Println(tb)
+	emit(tb)
 	return nil
 }
 
@@ -224,7 +233,7 @@ func fig6() error {
 				sp[core.SystemLina], sp[core.SystemFSMoENoIIO], sp[core.SystemFSMoE],
 				times[core.SystemDSMoE])
 		}
-		fmt.Println(tb)
+		emit(tb)
 	}
 	return nil
 }
@@ -264,7 +273,7 @@ func fig7() error {
 		sp := trainsim.Speedups(times, core.SystemDSMoE)
 		tb.AddRow(fmt.Sprintf("P=%d L=1024", p), sp[core.SystemTutel], sp[core.SystemFSMoE])
 	}
-	fmt.Println(tb)
+	emit(tb)
 	return nil
 }
 
@@ -287,7 +296,7 @@ func fig8() error {
 		tb.AddRow(spec.Name, sp[core.SystemTutel], sp[core.SystemTutelImproved],
 			sp[core.SystemLina], sp[core.SystemFSMoENoIIO], sp[core.SystemFSMoE])
 	}
-	fmt.Println(tb)
+	emit(tb)
 	return nil
 }
 
@@ -311,7 +320,7 @@ func table6() error {
 		ds, fs := times[core.SystemDSMoE], times[core.SystemFSMoE]
 		tb.AddRow(string(g), ds, fs, fmt.Sprintf("%.2fx", ds/fs))
 	}
-	fmt.Println(tb)
+	emit(tb)
 	return nil
 }
 
@@ -341,7 +350,7 @@ func degrees(sample int) error {
 		hist[b.R-f.R]++
 		total++
 	}
-	fmt.Printf("%d of %d configurations (%.0f%%) have different optimal fwd/bwd degrees (paper: 912/1458 = 63%%)\n",
+	note("%d of %d configurations (%.0f%%) have different optimal fwd/bwd degrees (paper: 912/1458 = 63%%)",
 		differ, total, 100*float64(differ)/float64(total))
 	var keys []int
 	for k := range hist {
@@ -349,7 +358,7 @@ func degrees(sample int) error {
 	}
 	sort.Ints(keys)
 	for _, k := range keys {
-		fmt.Printf("  bwd-fwd degree delta %+d: %d configs\n", k, hist[k])
+		note("  bwd-fwd degree delta %+d: %d configs", k, hist[k])
 	}
 	return nil
 }

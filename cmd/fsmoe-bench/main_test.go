@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 // TestExperimentDispatchTable: every name "all" expands to must exist in
@@ -16,7 +20,7 @@ func TestExperimentDispatchTable(t *testing.T) {
 			t.Fatalf("'all' references %q which is not in the dispatch table", name)
 		}
 	}
-	for _, real := range []string{"realpipe", "gradsync"} {
+	for _, real := range []string{"realpipe", "gradsync", "calibrate"} {
 		if table[real] == nil {
 			t.Fatalf("%s missing from the dispatch table", real)
 		}
@@ -43,9 +47,56 @@ func TestExperimentLookupRejectsUnknown(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown experiment must be rejected")
 	}
-	for _, want := range append([]string{"all", "realpipe", "gradsync"}, allOrder()...) {
+	for _, want := range append([]string{"all", "realpipe", "gradsync", "calibrate"}, allOrder()...) {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q does not list valid experiment %q", err, want)
 		}
+	}
+}
+
+// TestJSONCapture: tables and notes emitted while capturing land in
+// BENCH_<experiment>.json, mirroring the printed cells exactly.
+func TestJSONCapture(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	beginJSONCapture("unittest")
+	tb := report.NewTable("title", "a", "b")
+	tb.AddRow("x", 1.5)
+	emit(tb)
+	note("hello %d", 7)
+	if err := writeJSONCapture(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile("BENCH_unittest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Experiment != "unittest" || len(doc.Tables) != 1 || len(doc.Notes) != 1 {
+		t.Fatalf("unexpected doc %+v", doc)
+	}
+	tab := doc.Tables[0]
+	if tab.Title != "title" || len(tab.Columns) != 2 || len(tab.Rows) != 1 ||
+		tab.Rows[0][0] != "x" || tab.Rows[0][1] != "1.50" {
+		t.Fatalf("unexpected table %+v", tab)
+	}
+	if doc.Notes[0] != "hello 7" {
+		t.Fatalf("unexpected notes %v", doc.Notes)
+	}
+	// Capture is off again: emit must not panic or accumulate.
+	emit(tb)
+	if jsonSink != nil {
+		t.Fatal("sink still active after write")
 	}
 }

@@ -57,25 +57,31 @@ func realpipe() error {
 			tb.AddRow(row...)
 		}
 	}
-	fmt.Println(tb)
-	fmt.Println("simulated-pipe = DES makespan of the same stream plan with measured sequential stage durations")
+	emit(tb)
+	note("simulated-pipe = DES makespan of the same stream plan with measured sequential stage durations")
 
 	if err := realpipeDegreeSweep(ranks); err != nil {
 		return err
 	}
 	if n := goruntime.GOMAXPROCS(0); n < 2 {
-		fmt.Printf("note: GOMAXPROCS=%d — streams cannot run in parallel on this machine, so measured-pipe\n"+
-			"cannot realize the overlap; simulated-pipe shows what a multi-core runner achieves.\n", n)
+		note("note: GOMAXPROCS=%d — streams cannot run in parallel on this machine, so measured-pipe "+
+			"cannot realize the overlap; simulated-pipe shows what a multi-core runner achieves.", n)
 	}
 	return nil
+}
+
+// newRealpipeLayer builds a workload's layer with the fixed seed every
+// realpipe-family experiment (including calibrate) shares.
+func newRealpipeLayer(cfg realpipeConfig) (*fsmoe.Layer, error) {
+	return fsmoe.NewLayer(fsmoe.LayerConfig{
+		M: cfg.m, H: cfg.h, Experts: cfg.e, TopK: 2, CapacityFactor: 1.2, Seed: 13,
+	})
 }
 
 // newRealpipeWorld builds one world for a workload; degree 0 asks
 // Algorithm 1.
 func newRealpipeWorld(cfg realpipeConfig, ranks, degree int, strat fsmoe.Strategy) (*fsmoe.Layer, *fsmoe.World, error) {
-	layer, err := fsmoe.NewLayer(fsmoe.LayerConfig{
-		M: cfg.m, H: cfg.h, Experts: cfg.e, TopK: 2, CapacityFactor: 1.2, Seed: 13,
-	})
+	layer, err := newRealpipeLayer(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,6 +121,7 @@ func runRealpipe(cfg realpipeConfig, ranks int, strat fsmoe.Strategy) ([]any, er
 	if err != nil {
 		return nil, err
 	}
+	defer w.Close()
 	x := fsmoe.RandTensor(71, cfg.tokens, cfg.m)
 	dy := fsmoe.RandTensor(72, cfg.tokens, cfg.m)
 
@@ -175,6 +182,7 @@ func realpipeDegreeSweep(ranks int) error {
 				return err
 			}
 			autoF, autoB := auto.PipelineDegrees()
+			auto.Close()
 
 			row := []any{cfg.name, string(strat), fmt.Sprintf("%d/%d", autoF, autoB)}
 			bestR, bestT := 0, 0.0
@@ -184,9 +192,11 @@ func realpipeDegreeSweep(ranks int) error {
 					return err
 				}
 				if _, _, _, err := measurePass(layer, w, x, dy); err != nil { // warmup
+					w.Close()
 					return err
 				}
 				t, _, _, err := measurePass(layer, w, x, dy)
+				w.Close()
 				if err != nil {
 					return err
 				}
@@ -199,7 +209,7 @@ func realpipeDegreeSweep(ranks int) error {
 			tb.AddRow(row...)
 		}
 	}
-	fmt.Println(tb)
-	fmt.Println("algo1-r = Algorithm 1's forward/backward degrees on the strategy-specific volumes (Testbed A models)")
+	emit(tb)
+	note("algo1-r = Algorithm 1's forward/backward degrees on the strategy-specific volumes (Testbed A models)")
 	return nil
 }

@@ -1,0 +1,200 @@
+package fsmoe
+
+import (
+	"testing"
+)
+
+func calibLayer(t *testing.T) *Layer {
+	t.Helper()
+	l, err := NewLayer(LayerConfig{M: 32, H: 32, Experts: 8, TopK: 2, CapacityFactor: 1.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestCalibrateSweep runs a tiny calibration and checks the profile's
+// structure: every (strategy, degree) cell measured, per-kind fits
+// recovered with samples behind them, and measured volume sets for every
+// swept strategy.
+func TestCalibrateSweep(t *testing.T) {
+	l := calibLayer(t)
+	cal, err := Calibrate(l, CalibrateConfig{Ranks: 4, Tokens: 96, Degrees: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strats := cal.Strategies()
+	if len(strats) != 2 { // GPTFFN supports both EP and ESP
+		t.Fatalf("swept strategies %v, want EP and ESP", strats)
+	}
+	if len(cal.Points) != 4 {
+		t.Fatalf("%d sweep points, want 4", len(cal.Points))
+	}
+	for _, p := range cal.Points {
+		if p.SeqMS <= 0 || p.PredMS <= 0 || p.PipeMS <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	for _, kind := range []string{"AlltoAll", "AllGather", "ReduceScatter", "Experts", KindAllReduce} {
+		f, ok := cal.Fits[kind]
+		if !ok {
+			t.Fatalf("no fit for %s (have %v)", kind, cal.Fits)
+		}
+		if f.N == 0 || f.Beta < 0 || f.Alpha < 0 {
+			t.Fatalf("degenerate %s fit %+v", kind, f)
+		}
+	}
+	for _, s := range strats {
+		v, ok := cal.volumes(s)
+		if !ok {
+			t.Fatalf("no measured volumes for %s", s)
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("measured volumes for %s invalid: %v", s, err)
+		}
+		if v.ExpMACs <= 0 {
+			t.Fatalf("measured volumes for %s carry no expert work: %+v", s, v)
+		}
+		if d, ms := cal.MeasuredBest(s); d < 1 || d > 2 || ms <= 0 {
+			t.Fatalf("MeasuredBest(%s) = (%d, %v)", s, d, ms)
+		}
+	}
+	if s, d, ms := cal.MeasuredBestStrategy(); s == "" || d == 0 || ms <= 0 {
+		t.Fatalf("MeasuredBestStrategy = (%q, %d, %v)", s, d, ms)
+	}
+}
+
+// TestCalibratedWorld: a world built on a calibration must auto-pick a
+// swept strategy and in-range degrees from the measured profile, stay
+// bit-identical to the uncalibrated world, and fall back cleanly when the
+// requested strategy was never swept.
+func TestCalibratedWorld(t *testing.T) {
+	l := calibLayer(t)
+	cal, err := Calibrate(l, CalibrateConfig{Ranks: 4, Tokens: 96, Degrees: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(l, WorldConfig{Ranks: 4, BatchTokens: 96, Calibration: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if !w.AutoStrategy() || !w.AutoDegree() {
+		t.Fatal("calibrated world did not auto-select strategy and degrees")
+	}
+	picked := false
+	for _, s := range cal.Strategies() {
+		picked = picked || s == w.Strategy()
+	}
+	if !picked {
+		t.Fatalf("calibrated StrategyAuto picked %q, not among swept %v", w.Strategy(), cal.Strategies())
+	}
+	f, b := w.PipelineDegrees()
+	if f < 1 || f > 16 || b < 1 || b > 16 {
+		t.Fatalf("calibrated degrees out of range: fwd=%d bwd=%d", f, b)
+	}
+
+	// Bit-identity against the plain (testbed-driven) world on one pass.
+	x := RandTensor(31, 96, 32)
+	dy := RandTensor(32, 96, 32)
+	l.ZeroGrad()
+	y1, c1, err := w.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Backward(c1, dy); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewWorld(l, WorldConfig{
+		Ranks: 4, BatchTokens: 96, Strategy: w.Strategy(), PipelineDegree: f, PipelineDegreeBwd: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	l.ZeroGrad()
+	y2, c2, err := ref.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Backward(c2, dy); err != nil {
+		t.Fatal(err)
+	}
+	if y1.MaxAbsDiff(y2) != 0 {
+		t.Fatal("calibrated world output differs from the plain world")
+	}
+
+	// EP-only calibration: an explicit ESP world must still build (testbed
+	// fallback for its degrees), and StrategyAuto must not pick the
+	// unswept strategy.
+	epOnly, err := Calibrate(l, CalibrateConfig{Ranks: 4, Tokens: 96, Degrees: []int{1, 2}, Strategies: []Strategy{StrategyEP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := NewWorld(l, WorldConfig{Ranks: 4, BatchTokens: 96, Strategy: StrategyESP, Calibration: epOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	we.Close()
+	wa, err := NewWorld(l, WorldConfig{Ranks: 4, BatchTokens: 96, Calibration: epOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Close()
+	if wa.Strategy() != StrategyEP {
+		t.Fatalf("EP-only calibration auto-picked %q", wa.Strategy())
+	}
+}
+
+// TestCalibrateSingleDegree: a one-degree sweep may present a single
+// distinct volume per kind; calibration must still succeed and produce a
+// usable (non-all-zero) model for every sampled kind, via the
+// proportional fallback when the two-parameter fit degenerates.
+func TestCalibrateSingleDegree(t *testing.T) {
+	l := calibLayer(t)
+	cal, err := Calibrate(l, CalibrateConfig{Ranks: 2, Tokens: 64, Degrees: []int{1}, Strategies: []Strategy{StrategyEP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := cal.Fits["AlltoAll"]; f.N == 0 || f.Alpha+f.Beta <= 0 {
+		t.Fatalf("single-degree AlltoAll fit unusable: %+v", f)
+	}
+	if f := cal.Fits["Experts"]; f.N == 0 || f.Alpha+f.Beta <= 0 {
+		t.Fatalf("single-degree Experts fit unusable: %+v", f)
+	}
+}
+
+// TestPickDegree pins the model-vs-measurement reconciliation: the model
+// keeps its pick when the sweep measured it within 5% of the best,
+// otherwise (or off grid) the measured best wins; unswept strategies defer
+// to the model.
+func TestPickDegree(t *testing.T) {
+	cal := &Calibration{Points: []CalibrationPoint{
+		{Strategy: StrategyEP, Degree: 1, PipeMS: 100},
+		{Strategy: StrategyEP, Degree: 2, PipeMS: 80},
+		{Strategy: StrategyEP, Degree: 4, PipeMS: 82},
+	}}
+	if got := cal.PickDegree(StrategyEP, 4); got != 4 {
+		t.Fatalf("within-tolerance model pick overridden: got %d", got)
+	}
+	if got := cal.PickDegree(StrategyEP, 1); got != 2 {
+		t.Fatalf("beaten model pick kept: got %d", got)
+	}
+	if got := cal.PickDegree(StrategyEP, 16); got != 2 {
+		t.Fatalf("off-grid model pick kept: got %d", got)
+	}
+	if got := cal.PickDegree(StrategyESP, 7); got != 7 {
+		t.Fatalf("unswept strategy snapped: got %d", got)
+	}
+}
+
+// TestProportionalFit pins the degenerate-sample fallback directly.
+func TestProportionalFit(t *testing.T) {
+	f := proportionalFit([]float64{2, 2, 2}, []float64{1, 3, 2})
+	if f.Alpha != 0 || f.Beta != 1 || f.N != 3 {
+		t.Fatalf("proportionalFit = %+v, want beta 1", f)
+	}
+	if z := proportionalFit(nil, nil); z.N != 0 {
+		t.Fatalf("empty proportionalFit = %+v", z)
+	}
+}

@@ -79,4 +79,28 @@
 // expert instance in the same layer. Registering the same instance at
 // several indices is detected and runs sequentially; state shared between
 // distinct instances is the implementer's responsibility to synchronize.
+//
+// # Resource governance and calibration
+//
+// A World partitions the machine instead of letting every stream fight
+// over one queue: each rank's compute stream runs on an OS-thread-pinned
+// goroutine with its own scoped worker pool, communication staging
+// kernels share a small dedicated fan-out allotment (the staging streams
+// themselves still run concurrently — that concurrency is the pipeline's
+// structure), and the planned split is reported on every measured
+// pipelined trace (LastTrace().Resources; the sequential baseline runs
+// unbound on one goroutine and reports none). SetScopedPools(false) restores
+// the old shared-pool behavior for comparison; results are bit-identical
+// either way.
+//
+// Calibrate closes the remaining simulator-era loop: it measures a short
+// strategy × pipeline-degree sweep of the executable World on this
+// machine, fits the §4.1 linear cost models from the measured stage
+// times, and a WorldConfig carrying the resulting Calibration runs
+// StrategyAuto and the automatic pipeline degrees on those measured
+// coefficients instead of testbed constants. Migrating: nothing changes
+// unless WorldConfig.Calibration is set; custom ChunkedExpert /
+// ShardedExpert implementations must accept the new trailing *WorkerPool
+// parameter in BeginChunked/BeginSharded and route their GEMMs through it
+// (nil means the shared default pool, preserving old behavior).
 package fsmoe

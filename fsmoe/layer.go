@@ -228,6 +228,22 @@ func PutTensor(t *Tensor) { tensor.Put(t) }
 // sharded so no float accumulation is reordered.
 func SetComputeWorkers(n int) { tensor.SetWorkers(n) }
 
+// WorkerPool is a scoped tensor worker pool with a fixed width, the unit
+// of the executable World's resource governance. Custom ChunkedExpert /
+// ShardedExpert implementations receive one in BeginChunked/BeginSharded
+// and should route their GEMMs through its MatMul*Into methods; a nil
+// *WorkerPool designates the shared default pool.
+type WorkerPool = tensor.Pool
+
+// NewWorkerPool returns a scoped pool of fixed width n (at least 1). Its
+// goroutines start lazily; Close releases them.
+func NewWorkerPool(n int) *WorkerPool { return tensor.NewPool(n) }
+
+// SetPoolDebug toggles free-list debug mode: Put/PutTensor on a view then
+// panics instead of silently no-oping, which pins down buffer-ownership
+// bugs in custom sub-modules.
+func SetPoolDebug(on bool) { tensor.SetPoolDebug(on) }
+
 // RandTensor returns a tensor of standard-normal values.
 func RandTensor(seed uint64, shape ...int) *Tensor {
 	return tensor.RandN(xrand.New(seed), 1, shape...)

@@ -85,6 +85,14 @@ type WorldConfig struct {
 	// Inputs to StrategyAuto and the automatic pipeline degrees.
 	Cluster     *Cluster // testbed whose models drive Algorithm 1 (default TestbedA)
 	BatchTokens int      // B·L tokens per iteration (default 4096)
+
+	// Calibration, when non-nil, replaces the testbed models with cost
+	// coefficients fitted from this machine's measured stage times (see
+	// Calibrate): StrategyAuto and the automatic pipeline degrees then run
+	// Algorithm 1 on what was measured instead of on testbed constants,
+	// closing the scheduler→runtime loop in both directions. Explicit
+	// Strategy/PipelineDegree settings still win.
+	Calibration *Calibration
 }
 
 // World executes a Layer across in-process ranks under a pluggable
@@ -113,12 +121,21 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 		tokens = 4096
 	}
 	m := core.ModelsFromCluster(cluster)
+	// The volume space Algorithm 1 runs in: testbed-modelled volumes by
+	// default; when a Calibration is supplied, its measured models and the
+	// matching measured volumes (both in the plan's own estimate units, so
+	// they stay consistent with each other).
+	volsFor := func(s Strategy) (core.Volumes, bool) { return layerVolumes(l, tokens, s), true }
+	if cfg.Calibration != nil {
+		m = cfg.Calibration.models
+		volsFor = cfg.Calibration.volumes
+	}
 
 	strat := cfg.Strategy
 	var autoDegF, autoDegB core.DegreeResult
 	haveDegrees := false
 	if strat == StrategyAuto {
-		strat, autoDegF, autoDegB, haveDegrees = chooseStrategy(l, m, tokens)
+		strat, autoDegF, autoDegB, haveDegrees = chooseStrategy(l, m, volsFor)
 		w.autoStrat = true
 	}
 
@@ -129,10 +146,24 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 			// The strategy comparison already ran Algorithm 1 on the
 			// winner's volumes; reuse its per-phase results.
 			w.degF, w.degB = autoDegF, autoDegB
-		} else {
-			v := layerVolumes(l, tokens, strat)
+		} else if v, ok := volsFor(strat); ok {
 			w.degF = m.FindOptimalPipelineDegree(v, 0, core.Forward, 16)
 			w.degB = m.FindOptimalPipelineDegree(v, 0, core.Backward, 16)
+		} else {
+			// The calibration never swept this strategy; fall back to the
+			// testbed models on modelled volumes rather than mixing unit
+			// spaces.
+			tm := core.ModelsFromCluster(cluster)
+			v := layerVolumes(l, tokens, strat)
+			w.degF = tm.FindOptimalPipelineDegree(v, 0, core.Forward, 16)
+			w.degB = tm.FindOptimalPipelineDegree(v, 0, core.Backward, 16)
+		}
+		if cfg.Calibration != nil {
+			// The calibrated closed form proposes; the measured sweep
+			// disposes (see Calibration.PickDegree). R is what executes;
+			// TMoE/Case keep the model's view of its own proposal.
+			w.degF.R = cfg.Calibration.PickDegree(strat, w.degF.R)
+			w.degB.R = cfg.Calibration.PickDegree(strat, w.degB.R)
 		}
 		degF = w.degF.R
 		// An explicit backward degree overrides Algorithm 1's choice even
@@ -161,10 +192,13 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 // chooseStrategy is StrategyAuto: dense routers shard over slots; hard
 // routers pick the cheaper of EP and ESP under Algorithm 1 (§4.4) on the
 // strategy-specific collective volumes, with ESP eligible only when every
-// expert implements the sharded contract. When the comparison ran, the
-// winner's per-phase degree results are returned for reuse (haveDegrees
-// true), saving the caller an identical pair of searches.
-func chooseStrategy(l *Layer, m core.Models, tokens int) (strat Strategy, degF, degB core.DegreeResult, haveDegrees bool) {
+// expert implements the sharded contract. volsFor supplies the volume set
+// per strategy — testbed-modelled or calibration-measured; a strategy
+// whose volumes are unavailable (a calibration that never swept it) is
+// not eligible. When the comparison ran, the winner's per-phase degree
+// results are returned for reuse (haveDegrees true), saving the caller an
+// identical pair of searches.
+func chooseStrategy(l *Layer, m core.Models, volsFor func(Strategy) (core.Volumes, bool)) (strat Strategy, degF, degB core.DegreeResult, haveDegrees bool) {
 	if dr, ok := l.inner.Gate().(moe.DenseRouter); ok && dr.DenseRouting() {
 		return StrategyDenseSlots, degF, degB, false
 	}
@@ -173,8 +207,13 @@ func chooseStrategy(l *Layer, m core.Models, tokens int) (strat Strategy, degF, 
 			return StrategyEP, degF, degB, false
 		}
 	}
-	espF, espB := phaseDegrees(m, layerVolumes(l, tokens, StrategyESP))
-	epF, epB := phaseDegrees(m, layerVolumes(l, tokens, StrategyEP))
+	vESP, okESP := volsFor(StrategyESP)
+	vEP, okEP := volsFor(StrategyEP)
+	if !okESP || !okEP {
+		return StrategyEP, degF, degB, false
+	}
+	espF, espB := phaseDegrees(m, vESP)
+	epF, epB := phaseDegrees(m, vEP)
 	if espF.TMoE+espB.TMoE < epF.TMoE+epB.TMoE {
 		return StrategyESP, espF, espB, true
 	}
@@ -292,6 +331,24 @@ func (w *World) AutoDegree() bool { return w.auto }
 // SetSequential switches between the pipelined stream executor (default)
 // and a single-goroutine no-overlap baseline; results are identical.
 func (w *World) SetSequential(seq bool) { w.inner.SetSequential(seq) }
+
+// SetScopedPools toggles resource governance (default on): each compute
+// stream runs on an OS-thread-pinned goroutine with its own scoped tensor
+// worker pool, and communication staging shares a small dedicated
+// allotment. Off reverts every kernel to the shared process-wide pool —
+// the oversubscription baseline. Results are identical either way; only
+// contention differs. LastTrace().Resources reports the binding a
+// measured pass actually ran under.
+func (w *World) SetScopedPools(on bool) { w.inner.SetScopedPools(on) }
+
+// ResourcePlan reports the planned per-stream worker split: workers per
+// compute stream and the shared communication allotment.
+func (w *World) ResourcePlan() (computeWorkers, commWorkers int) { return w.inner.ResourcePlan() }
+
+// Close releases the scoped pools' worker goroutines. Call it when the
+// world is no longer needed; the world degrades gracefully (inline
+// kernels) if used afterwards.
+func (w *World) Close() { w.inner.Close() }
 
 // Stats returns cumulative collective traffic across passes.
 func (w *World) Stats() CommStats { return w.inner.Stats() }

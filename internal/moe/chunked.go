@@ -22,11 +22,19 @@ import (
 // not run concurrently (the runtime serializes them on the owning rank's
 // compute stream). Forward-only callers may drop the cache and leak its
 // pooled buffers to the GC, as with ForwardInto.
+//
+// The pool passed to BeginChunked is the worker budget of the stream that
+// will drive the cache: every GEMM the chunk methods run must fan out onto
+// it (nil designates the process-default pool), so concurrent compute
+// streams stay inside their planned allotments instead of oversubscribing
+// one shared queue. The pool never changes a result — kernels are
+// bit-identical at any width.
 type ChunkedExpert interface {
 	Expert
 	// BeginChunked prepares a chunked pass over the full (n, M) input view
-	// x writing into the full (n, M) output view out.
-	BeginChunked(x, out *tensor.Tensor) ChunkedCache
+	// x writing into the full (n, M) output view out, with the chunk
+	// methods' kernels bound to pool (nil = default).
+	BeginChunked(x, out *tensor.Tensor, pool *tensor.Pool) ChunkedCache
 	// ForwardChunk computes output rows [lo, hi).
 	ForwardChunk(cc ChunkedCache, lo, hi int)
 	// BackwardChunk computes input-gradient rows [lo, hi) of dx from rows
@@ -48,12 +56,13 @@ type gptChunkCache struct {
 	x, out *tensor.Tensor // (n, M) views owned by the caller
 	h, a   *tensor.Tensor // (n, H) pooled
 	da     *tensor.Tensor // (n, H) pooled, lazily on first BackwardChunk
+	pool   *tensor.Pool   // the driving stream's worker budget (nil = default)
 }
 
 // BeginChunked implements ChunkedExpert.
-func (f *GPTFFN) BeginChunked(x, out *tensor.Tensor) ChunkedCache {
+func (f *GPTFFN) BeginChunked(x, out *tensor.Tensor, pool *tensor.Pool) ChunkedCache {
 	n := x.Dim(0)
-	return &gptChunkCache{x: x, out: out, h: tensor.GetUninit(n, f.h), a: tensor.GetUninit(n, f.h)}
+	return &gptChunkCache{x: x, out: out, h: tensor.GetUninit(n, f.h), a: tensor.GetUninit(n, f.h), pool: pool}
 }
 
 // ForwardChunk implements ChunkedExpert. Every step is row-wise, so the
@@ -64,10 +73,10 @@ func (f *GPTFFN) ForwardChunk(cc ChunkedCache, lo, hi int) {
 	}
 	c := cc.(*gptChunkCache)
 	xv, hv, av, ov := c.x.Slice(lo, hi), c.h.Slice(lo, hi), c.a.Slice(lo, hi), c.out.Slice(lo, hi)
-	tensor.MatMulInto(hv, xv, f.w1.W)
+	c.pool.MatMulInto(hv, xv, f.w1.W)
 	tensor.AddRowVectorInPlace(hv, f.b1.W)
 	tensor.GeLUInto(av, hv)
-	tensor.MatMulInto(ov, av, f.w2.W)
+	c.pool.MatMulInto(ov, av, f.w2.W)
 	tensor.AddRowVectorInPlace(ov, f.b2.W)
 }
 
@@ -82,13 +91,13 @@ func (f *GPTFFN) BackwardChunk(cc ChunkedCache, dy, dx *tensor.Tensor, lo, hi in
 		return
 	}
 	dyv, dav, dxv := dy.Slice(lo, hi), c.da.Slice(lo, hi), dx.Slice(lo, hi)
-	tensor.MatMulT2Into(dav, dyv, f.w2.W)
+	c.pool.MatMulT2Into(dav, dyv, f.w2.W)
 	hd := c.h.Slice(lo, hi).Data()
 	dd := dav.Data()
 	for i := range dd {
 		dd[i] *= tensor.GeLUGrad(hd[i])
 	}
-	tensor.MatMulT2Into(dxv, dav, f.w1.W)
+	c.pool.MatMulT2Into(dxv, dav, f.w1.W)
 }
 
 // FinishBackward implements ChunkedExpert: the same full-block GEMMs and
@@ -99,12 +108,12 @@ func (f *GPTFFN) FinishBackward(cc ChunkedCache, dy *tensor.Tensor) {
 		c.da = tensor.Get(dy.Dim(0), f.h)
 	}
 	gw2 := tensor.GetUninit(f.h, f.m)
-	tensor.MatMulT1Into(gw2, c.a, dy)
+	c.pool.MatMulT1Into(gw2, c.a, dy)
 	tensor.AddInPlace(f.w2.G, gw2)
 	tensor.Put(gw2)
 	addColSum(f.b2.G, dy)
 	gw1 := tensor.GetUninit(f.m, f.h)
-	tensor.MatMulT1Into(gw1, c.x, c.da)
+	c.pool.MatMulT1Into(gw1, c.x, c.da)
 	tensor.AddInPlace(f.w1.G, gw1)
 	tensor.Put(gw1)
 	addColSum(f.b1.G, c.da)
@@ -118,16 +127,18 @@ type mixtralChunkCache struct {
 	x, out  *tensor.Tensor // (n, M) views owned by the caller
 	g, u, a *tensor.Tensor // (n, H) pooled
 	da, du  *tensor.Tensor // (n, H) pooled, lazily on first BackwardChunk
+	pool    *tensor.Pool   // the driving stream's worker budget (nil = default)
 }
 
 // BeginChunked implements ChunkedExpert.
-func (f *MixtralFFN) BeginChunked(x, out *tensor.Tensor) ChunkedCache {
+func (f *MixtralFFN) BeginChunked(x, out *tensor.Tensor, pool *tensor.Pool) ChunkedCache {
 	n := x.Dim(0)
 	return &mixtralChunkCache{
 		x: x, out: out,
-		g: tensor.GetUninit(n, f.h),
-		u: tensor.GetUninit(n, f.h),
-		a: tensor.GetUninit(n, f.h),
+		g:    tensor.GetUninit(n, f.h),
+		u:    tensor.GetUninit(n, f.h),
+		a:    tensor.GetUninit(n, f.h),
+		pool: pool,
 	}
 }
 
@@ -139,12 +150,12 @@ func (f *MixtralFFN) ForwardChunk(cc ChunkedCache, lo, hi int) {
 	c := cc.(*mixtralChunkCache)
 	xv, ov := c.x.Slice(lo, hi), c.out.Slice(lo, hi)
 	gv, uv, av := c.g.Slice(lo, hi), c.u.Slice(lo, hi), c.a.Slice(lo, hi)
-	tensor.MatMulInto(gv, xv, f.w1.W)
-	tensor.MatMulInto(uv, xv, f.w3.W)
+	c.pool.MatMulInto(gv, xv, f.w1.W)
+	c.pool.MatMulInto(uv, xv, f.w3.W)
 	tensor.SiLUInto(av, gv)
 	p := tensor.GetUninit(hi-lo, f.h)
 	tensor.MulInto(p, av, uv)
-	tensor.MatMulInto(ov, p, f.w2.W)
+	c.pool.MatMulInto(ov, p, f.w2.W)
 	tensor.Put(p)
 }
 
@@ -162,7 +173,7 @@ func (f *MixtralFFN) BackwardChunk(cc ChunkedCache, dy, dx *tensor.Tensor, lo, h
 	gv, uv, av := c.g.Slice(lo, hi), c.u.Slice(lo, hi), c.a.Slice(lo, hi)
 	dav, duv := c.da.Slice(lo, hi), c.du.Slice(lo, hi)
 	dp := tensor.GetUninit(hi-lo, f.h)
-	tensor.MatMulT2Into(dp, dyv, f.w2.W)
+	c.pool.MatMulT2Into(dp, dyv, f.w2.W)
 	tensor.MulInto(dav, dp, uv)
 	tensor.MulInto(duv, dp, av)
 	tensor.Put(dp)
@@ -171,9 +182,9 @@ func (f *MixtralFFN) BackwardChunk(cc ChunkedCache, dy, dx *tensor.Tensor, lo, h
 	for i := range dd {
 		dd[i] *= tensor.SiLUGrad(gd[i])
 	}
-	tensor.MatMulT2Into(dxv, dav, f.w1.W)
+	c.pool.MatMulT2Into(dxv, dav, f.w1.W)
 	dxu := tensor.GetUninit(hi-lo, f.m)
-	tensor.MatMulT2Into(dxu, duv, f.w3.W)
+	c.pool.MatMulT2Into(dxu, duv, f.w3.W)
 	tensor.AddInPlace(dxv, dxu)
 	tensor.Put(dxu)
 }
@@ -189,14 +200,14 @@ func (f *MixtralFFN) FinishBackward(cc ChunkedCache, dy *tensor.Tensor) {
 	p := tensor.GetUninit(n, f.h)
 	tensor.MulInto(p, c.a, c.u)
 	gw := tensor.GetUninit(f.h, f.m)
-	tensor.MatMulT1Into(gw, p, dy)
+	c.pool.MatMulT1Into(gw, p, dy)
 	tensor.AddInPlace(f.w2.G, gw)
 	tensor.Put(gw)
 	tensor.Put(p)
 	gw13 := tensor.GetUninit(f.m, f.h)
-	tensor.MatMulT1Into(gw13, c.x, c.da)
+	c.pool.MatMulT1Into(gw13, c.x, c.da)
 	tensor.AddInPlace(f.w1.G, gw13)
-	tensor.MatMulT1Into(gw13, c.x, c.du)
+	c.pool.MatMulT1Into(gw13, c.x, c.du)
 	tensor.AddInPlace(f.w3.G, gw13)
 	tensor.Put(gw13)
 	tensor.Put(c.da)

@@ -40,6 +40,13 @@ import (
 // expert, after the full hb and dy are assembled, and releases the
 // member's pooled state — other members release theirs via DropSharded.
 // Calls on one cache must not run concurrently.
+//
+// The pool passed to BeginSharded is the member's compute-stream worker
+// budget: every GEMM the shard methods run must fan out onto it (nil
+// designates the process-default pool). One expert instance is driven by
+// R members concurrently under ESP, each through its own cache — binding
+// the pool to the cache rather than the expert is what keeps those
+// members inside their own stream allotments.
 type ShardedExpert interface {
 	Expert
 	// HiddenWidth is the sharded column dimension of the exchange buffers.
@@ -49,8 +56,9 @@ type ShardedExpert interface {
 	BwdBands() int
 	// BeginSharded prepares one member's state for a sharded pass over the
 	// full (n, M) input view x, writing the full (n, M) output view out,
-	// with hidden exchange buffer hf and column shard [cl, ch).
-	BeginSharded(x, out, hf *tensor.Tensor, cl, ch int) ShardedCache
+	// with hidden exchange buffer hf, column shard [cl, ch) and the shard
+	// methods' kernels bound to pool (nil = default).
+	BeginSharded(x, out, hf *tensor.Tensor, cl, ch int, pool *tensor.Pool) ShardedCache
 	// ForwardHidden computes hf columns [cl, ch) for token rows [lo, hi).
 	ForwardHidden(sc ShardedCache, lo, hi int)
 	// ForwardOut computes out rows [lo, hi) from full-width hf rows.
@@ -109,6 +117,7 @@ type gptShardCache struct {
 	cl, ch     int
 	w1c        *tensor.Tensor // (M, cw) pooled column slice of W1
 	hpre       *tensor.Tensor // (n, cw) pooled pre-activation columns
+	pool       *tensor.Pool   // the member's compute-stream budget (nil = default)
 }
 
 // HiddenWidth implements ShardedExpert: the exchanged activation is
@@ -118,8 +127,8 @@ func (f *GPTFFN) FwdBands() int    { return 1 }
 func (f *GPTFFN) BwdBands() int    { return 1 }
 
 // BeginSharded implements ShardedExpert.
-func (f *GPTFFN) BeginSharded(x, out, hf *tensor.Tensor, cl, ch int) ShardedCache {
-	c := &gptShardCache{x: x, out: out, hf: hf, cl: cl, ch: ch}
+func (f *GPTFFN) BeginSharded(x, out, hf *tensor.Tensor, cl, ch int, pool *tensor.Pool) ShardedCache {
+	c := &gptShardCache{x: x, out: out, hf: hf, cl: cl, ch: ch, pool: pool}
 	if ch > cl {
 		c.w1c = sliceWeightCols(f.w1.W, cl, ch)
 		c.hpre = tensor.GetUninit(x.Dim(0), ch-cl)
@@ -136,7 +145,7 @@ func (f *GPTFFN) ForwardHidden(sc ShardedCache, lo, hi int) {
 		return
 	}
 	hv := c.hpre.Slice(lo, hi)
-	tensor.MatMulInto(hv, c.x.Slice(lo, hi), c.w1c)
+	c.pool.MatMulInto(hv, c.x.Slice(lo, hi), c.w1c)
 	tensor.AddRowVectorInPlace(hv, f.b1.W.Slice(c.cl, c.ch))
 	av := tensor.GetUninit(hi-lo, c.ch-c.cl)
 	tensor.GeLUInto(av, hv)
@@ -152,7 +161,7 @@ func (f *GPTFFN) ForwardOut(sc ShardedCache, lo, hi int) {
 		return
 	}
 	ov := c.out.Slice(lo, hi)
-	tensor.MatMulInto(ov, c.hf.Slice(lo, hi), f.w2.W)
+	c.pool.MatMulInto(ov, c.hf.Slice(lo, hi), f.w2.W)
 	tensor.AddRowVectorInPlace(ov, f.b2.W)
 }
 
@@ -165,7 +174,7 @@ func (f *GPTFFN) BackwardHidden(sc ShardedCache, dy, hb *tensor.Tensor, lo, hi i
 		return
 	}
 	dav := tensor.GetUninit(hi-lo, c.ch-c.cl)
-	tensor.MatMulT2Into(dav, dy.Slice(lo, hi), f.w2.W.Slice(c.cl, c.ch))
+	c.pool.MatMulT2Into(dav, dy.Slice(lo, hi), f.w2.W.Slice(c.cl, c.ch))
 	hd := c.hpre.Slice(lo, hi).Data()
 	dd := dav.Data()
 	for i := range dd {
@@ -180,7 +189,7 @@ func (f *GPTFFN) BackwardIn(sc ShardedCache, dy, dx, hb *tensor.Tensor, lo, hi i
 	if lo >= hi {
 		return
 	}
-	tensor.MatMulT2Into(dx.Slice(lo, hi), hb.Slice(lo, hi), f.w1.W)
+	sc.(*gptShardCache).pool.MatMulT2Into(dx.Slice(lo, hi), hb.Slice(lo, hi), f.w1.W)
 }
 
 // FinishSharded implements ShardedExpert: the same full-block GEMMs and
@@ -189,12 +198,12 @@ func (f *GPTFFN) BackwardIn(sc ShardedCache, dy, dx, hb *tensor.Tensor, lo, hi i
 func (f *GPTFFN) FinishSharded(sc ShardedCache, dy, hb *tensor.Tensor) {
 	c := sc.(*gptShardCache)
 	gw2 := tensor.GetUninit(f.h, f.m)
-	tensor.MatMulT1Into(gw2, c.hf, dy)
+	c.pool.MatMulT1Into(gw2, c.hf, dy)
 	tensor.AddInPlace(f.w2.G, gw2)
 	tensor.Put(gw2)
 	addColSum(f.b2.G, dy)
 	gw1 := tensor.GetUninit(f.m, f.h)
-	tensor.MatMulT1Into(gw1, c.x, hb)
+	c.pool.MatMulT1Into(gw1, c.x, hb)
 	tensor.AddInPlace(f.w1.G, gw1)
 	tensor.Put(gw1)
 	addColSum(f.b1.G, hb)
@@ -215,6 +224,7 @@ type mixtralShardCache struct {
 	cl, ch     int
 	w1c, w3c   *tensor.Tensor // (M, cw) pooled column slices
 	gpre, u, a *tensor.Tensor // (n, cw) pooled member columns
+	pool       *tensor.Pool   // the member's compute-stream budget (nil = default)
 }
 
 // HiddenWidth implements ShardedExpert: forward exchanges the gated
@@ -225,8 +235,8 @@ func (f *MixtralFFN) FwdBands() int    { return 1 }
 func (f *MixtralFFN) BwdBands() int    { return 2 }
 
 // BeginSharded implements ShardedExpert.
-func (f *MixtralFFN) BeginSharded(x, out, hf *tensor.Tensor, cl, ch int) ShardedCache {
-	c := &mixtralShardCache{x: x, out: out, hf: hf, cl: cl, ch: ch}
+func (f *MixtralFFN) BeginSharded(x, out, hf *tensor.Tensor, cl, ch int, pool *tensor.Pool) ShardedCache {
+	c := &mixtralShardCache{x: x, out: out, hf: hf, cl: cl, ch: ch, pool: pool}
 	if ch > cl {
 		n := x.Dim(0)
 		c.w1c = sliceWeightCols(f.w1.W, cl, ch)
@@ -246,8 +256,8 @@ func (f *MixtralFFN) ForwardHidden(sc ShardedCache, lo, hi int) {
 	}
 	xv := c.x.Slice(lo, hi)
 	gv, uv, av := c.gpre.Slice(lo, hi), c.u.Slice(lo, hi), c.a.Slice(lo, hi)
-	tensor.MatMulInto(gv, xv, c.w1c)
-	tensor.MatMulInto(uv, xv, c.w3c)
+	c.pool.MatMulInto(gv, xv, c.w1c)
+	c.pool.MatMulInto(uv, xv, c.w3c)
 	tensor.SiLUInto(av, gv)
 	pt := tensor.GetUninit(hi-lo, c.ch-c.cl)
 	tensor.MulInto(pt, av, uv)
@@ -261,7 +271,7 @@ func (f *MixtralFFN) ForwardOut(sc ShardedCache, lo, hi int) {
 	if lo >= hi {
 		return
 	}
-	tensor.MatMulInto(c.out.Slice(lo, hi), c.hf.Slice(lo, hi), f.w2.W)
+	c.pool.MatMulInto(c.out.Slice(lo, hi), c.hf.Slice(lo, hi), f.w2.W)
 }
 
 // BackwardHidden implements ShardedExpert: band 0 of hb receives the
@@ -274,7 +284,7 @@ func (f *MixtralFFN) BackwardHidden(sc ShardedCache, dy, hb *tensor.Tensor, lo, 
 	n := c.x.Dim(0)
 	cw := c.ch - c.cl
 	dpt := tensor.GetUninit(hi-lo, cw)
-	tensor.MatMulT2Into(dpt, dy.Slice(lo, hi), f.w2.W.Slice(c.cl, c.ch))
+	c.pool.MatMulT2Into(dpt, dy.Slice(lo, hi), f.w2.W.Slice(c.cl, c.ch))
 	dat := tensor.GetUninit(hi-lo, cw)
 	dut := tensor.GetUninit(hi-lo, cw)
 	tensor.MulInto(dat, dpt, c.u.Slice(lo, hi))
@@ -300,9 +310,9 @@ func (f *MixtralFFN) BackwardIn(sc ShardedCache, dy, dx, hb *tensor.Tensor, lo, 
 	}
 	n := c.x.Dim(0)
 	dxv := dx.Slice(lo, hi)
-	tensor.MatMulT2Into(dxv, hb.Slice(lo, hi), f.w1.W)
+	c.pool.MatMulT2Into(dxv, hb.Slice(lo, hi), f.w1.W)
 	dxu := tensor.GetUninit(hi-lo, f.m)
-	tensor.MatMulT2Into(dxu, hb.Slice(n+lo, n+hi), f.w3.W)
+	c.pool.MatMulT2Into(dxu, hb.Slice(n+lo, n+hi), f.w3.W)
 	tensor.AddInPlace(dxv, dxu)
 	tensor.Put(dxu)
 }
@@ -313,13 +323,13 @@ func (f *MixtralFFN) FinishSharded(sc ShardedCache, dy, hb *tensor.Tensor) {
 	c := sc.(*mixtralShardCache)
 	n := c.x.Dim(0)
 	gw := tensor.GetUninit(f.h, f.m)
-	tensor.MatMulT1Into(gw, c.hf, dy)
+	c.pool.MatMulT1Into(gw, c.hf, dy)
 	tensor.AddInPlace(f.w2.G, gw)
 	tensor.Put(gw)
 	gw13 := tensor.GetUninit(f.m, f.h)
-	tensor.MatMulT1Into(gw13, c.x, hb.Slice(0, n))
+	c.pool.MatMulT1Into(gw13, c.x, hb.Slice(0, n))
 	tensor.AddInPlace(f.w1.G, gw13)
-	tensor.MatMulT1Into(gw13, c.x, hb.Slice(n, 2*n))
+	c.pool.MatMulT1Into(gw13, c.x, hb.Slice(n, 2*n))
 	tensor.AddInPlace(f.w3.G, gw13)
 	tensor.Put(gw13)
 	f.DropSharded(sc)

@@ -71,10 +71,12 @@ func wireOff(t, el, m, eg, mdim int) int { return (t*eg+el)*mdim + m }
 // rank i's wire buffer, whose per-peer blocks are keyed by expert group.
 // toWire selects the direction. Every forward/backward pack stage on the
 // token side is this one loop, so wire-layout fixes cannot drift between
-// the passes.
-func xferGlobal(wire, global []float64, ranks, eg, mdim, spad, tpad, i int, rr comm.RowRange, toWire bool) {
+// the passes. Peers shard over pool (the comm staging allotment): each
+// peer touches a disjoint wire block and a disjoint set of expert blocks,
+// and the work is pure copies, so any width is bit-identical.
+func xferGlobal(pool *tensor.Pool, wire, global []float64, ranks, eg, mdim, spad, tpad, i int, rr comm.RowRange, toWire bool) {
 	blk := spad * eg * mdim
-	for p := 0; p < ranks; p++ {
+	pool.ParallelFor(ranks, func(p int) {
 		wb := wire[p*blk : (p+1)*blk]
 		for el := 0; el < eg; el++ {
 			e := p*eg + el
@@ -88,15 +90,16 @@ func xferGlobal(wire, global []float64, ranks, eg, mdim, spad, tpad, i int, rr c
 				}
 			}
 		}
-	}
+	})
 }
 
 // xferLocal copies chunk rows between expert-side rank j's (Eg, Tpad, M)
 // block and rank j's wire buffer, whose per-peer blocks are keyed by the
-// token-side rank that owns each row segment.
-func xferLocal(wire, block []float64, ranks, eg, mdim, spad, tpad int, rr comm.RowRange, toWire bool) {
+// token-side rank that owns each row segment. Peers shard over pool as in
+// xferGlobal (disjoint wire blocks, disjoint row segments).
+func xferLocal(pool *tensor.Pool, wire, block []float64, ranks, eg, mdim, spad, tpad int, rr comm.RowRange, toWire bool) {
 	blk := spad * eg * mdim
-	for i := 0; i < ranks; i++ {
+	pool.ParallelFor(ranks, func(i int) {
 		wb := wire[i*blk : (i+1)*blk]
 		for el := 0; el < eg; el++ {
 			for t := rr.Lo; t < rr.Hi; t++ {
@@ -109,7 +112,7 @@ func xferLocal(wire, block []float64, ranks, eg, mdim, spad, tpad int, rr comm.R
 				}
 			}
 		}
-	}
+	})
 }
 
 // a2aTask wraps one chunk collective, accumulating traffic stats (safe:
@@ -152,7 +155,8 @@ func (s *epStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache, 
 			for el := 0; el < eg; el++ {
 				ec.ccs[j][el] = w.expert(j, el).(ChunkedExpert).BeginChunked(
 					expertView(ec.xBlocks[j], el, tpad, mdim),
-					expertView(ec.outBlocks[j], el, tpad, mdim))
+					expertView(ec.outBlocks[j], el, tpad, mdim),
+					w.computePool(j))
 			}
 		}
 	} else {
@@ -178,7 +182,7 @@ func (s *epStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache, 
 			i := i
 			packIDs[i] = p.Add(fmt.Sprintf("P%d[%d]", c, i), KindPack, intraStream(i),
 				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferGlobal(send[i], scatData, R, eg, mdim, spad, tpad, i, rr, true)
+					xferGlobal(w.stagingPool(), send[i], scatData, R, eg, mdim, spad, tpad, i, rr, true)
 					return nil
 				})
 		}
@@ -216,7 +220,7 @@ func (s *epStrategy) emitForwardExperts(w *World, p *runtime.Plan, ec *epCache, 
 			j := j
 			unpack := p.Add(fmt.Sprintf("U%d[%d]", c, j), KindPack, intraStream(j),
 				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferLocal(recv[j], ec.xBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, false)
+					xferLocal(w.stagingPool(), recv[j], ec.xBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, false)
 					return nil
 				}, dispIDs[c])
 			if !s.chunked {
@@ -276,7 +280,7 @@ func (s *epStrategy) emitCombine(w *World, p *runtime.Plan, ec *epCache, cache *
 		j := j
 		packIDs[j] = p.Add(fmt.Sprintf("R%d[%d]", c, j), KindPack, intraStream(j),
 			estElems(R*eg*rr.Len()*mdim), func() error {
-				xferLocal(csend[j], ec.outBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, true)
+				xferLocal(w.stagingPool(), csend[j], ec.outBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, true)
 				return nil
 			}, expDone[j])
 	}
@@ -286,7 +290,7 @@ func (s *epStrategy) emitCombine(w *World, p *runtime.Plan, ec *epCache, cache *
 		i := i
 		p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
 			estElems(R*eg*rr.Len()*mdim), func() error {
-				xferGlobal(crecv[i], combinedPad.Data(), R, eg, mdim, spad, tpad, i, rr, false)
+				xferGlobal(w.stagingPool(), crecv[i], combinedPad.Data(), R, eg, mdim, spad, tpad, i, rr, false)
 				return nil
 			}, comb)
 	}
@@ -322,7 +326,7 @@ func (s *epStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache,
 			i := i
 			packIDs[i] = p.Add(fmt.Sprintf("P%d[%d]", c, i), KindPack, intraStream(i),
 				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferGlobal(gsend[i], dpd, R, eg, mdim, spad, tpad, i, rr, true)
+					xferGlobal(w.stagingPool(), gsend[i], dpd, R, eg, mdim, spad, tpad, i, rr, true)
 					return nil
 				})
 		}
@@ -351,7 +355,7 @@ func (s *epStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache,
 			j := j
 			unpack := p.Add(fmt.Sprintf("U%d[%d]", c, j), KindPack, intraStream(j),
 				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferLocal(grecv[j], dyBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, false)
+					xferLocal(w.stagingPool(), grecv[j], dyBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, false)
 					return nil
 				}, combIDs[c])
 			if !s.chunked {
@@ -404,7 +408,7 @@ func (s *epStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache,
 			j := j
 			dgPackIDs[j] = p.Add(fmt.Sprintf("R%d[%d]", c, j), KindPack, intraStream(j),
 				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferLocal(dsend[j], dxBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, true)
+					xferLocal(w.stagingPool(), dsend[j], dxBlocks[j].Data(), R, eg, mdim, spad, tpad, rr, true)
 					return nil
 				}, expTask[c][j])
 		}
@@ -419,7 +423,7 @@ func (s *epStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache,
 			i := i
 			p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
 				estElems(R*eg*rr.Len()*mdim), func() error {
-					xferGlobal(drecv[i], dScatteredPad.Data(), R, eg, mdim, spad, tpad, i, rr, false)
+					xferGlobal(w.stagingPool(), drecv[i], dScatteredPad.Data(), R, eg, mdim, spad, tpad, i, rr, false)
 					return nil
 				}, dgrad)
 		}

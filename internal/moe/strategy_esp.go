@@ -147,9 +147,11 @@ func (s *espStrategy) xferHidden(bufs []*tensor.Tensor, wire []float64, member, 
 // espXfer copies chunk rows of one slot shard between an expert-major
 // (E, tpad, M) buffer and the slot-major (rows × E·M) wire layout shared
 // by the AG/RS collectives: wire row wireBase+t holds every expert's row
-// fullBase+t side by side.
-func espXfer(wire, full []float64, experts, mdim, tpad, wireBase, fullBase int, rr comm.RowRange, toWire bool) {
-	for e := 0; e < experts; e++ {
+// fullBase+t side by side. Experts shard over pool (the comm staging
+// allotment); each expert's rows are disjoint in both layouts, and the
+// work is pure copies, so any width is bit-identical.
+func espXfer(pool *tensor.Pool, wire, full []float64, experts, mdim, tpad, wireBase, fullBase int, rr comm.RowRange, toWire bool) {
+	pool.ParallelFor(experts, func(e int) {
 		for t := rr.Lo; t < rr.Hi; t++ {
 			woff := ((wireBase+t)*experts + e) * mdim
 			foff := (e*tpad + fullBase + t) * mdim
@@ -159,7 +161,7 @@ func espXfer(wire, full []float64, experts, mdim, tpad, wireBase, fullBase int, 
 				copy(full[foff:foff+mdim], wire[woff:woff+mdim])
 			}
 		}
-	}
+	})
 }
 
 // hiddenExchange appends one chunk's hidden AllGather to the plan: per-rank
@@ -243,7 +245,7 @@ func (s *espStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache,
 			ec.scs[g][e] = ex.BeginSharded(
 				expertView(ec.xFull[g], e, tpad, mdim),
 				expertView(ec.outFull[g], e, tpad, mdim),
-				ec.hf[g][e], cl, ch)
+				ec.hf[g][e], cl, ch, w.computePool(g))
 		}
 	}
 
@@ -264,7 +266,7 @@ func (s *espStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache,
 			i := i
 			packIDs[i] = p.Add(fmt.Sprintf("G%d[%d]", c, i), KindPack, intraStream(i),
 				estElems(E*rr.Len()*mdim), func() error {
-					espXfer(agxData[i], scatD, E, mdim, tpad, 0, i*spad, rr, true)
+					espXfer(w.stagingPool(), agxData[i], scatD, E, mdim, tpad, 0, i*spad, rr, true)
 					return nil
 				})
 		}
@@ -291,7 +293,7 @@ func (s *espStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache,
 			unpack := p.Add(fmt.Sprintf("Ux%d[%d]", c, g), KindPack, intraStream(g),
 				estElems(R*E*rr.Len()*mdim), func() error {
 					for i := 0; i < R; i++ {
-						espXfer(agxOut[g], ec.xFull[g].Data(), E, mdim, tpad, i*spad, i*spad, rr, false)
+						espXfer(w.stagingPool(), agxOut[g], ec.xFull[g].Data(), E, mdim, tpad, i*spad, i*spad, rr, false)
 					}
 					return nil
 				}, agIDs[c])
@@ -318,7 +320,7 @@ func (s *espStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache,
 				}, unpackH[g])
 			packY[g] = p.Add(fmt.Sprintf("Py%d[%d]", c, g), KindPack, intraStream(g),
 				estElems(E*rr.Len()*mdim), func() error {
-					espXfer(rsData[g], ec.outFull[g].Data(), E, mdim, tpad, g*spad, g*spad, rr, true)
+					espXfer(w.stagingPool(), rsData[g], ec.outFull[g].Data(), E, mdim, tpad, g*spad, g*spad, rr, true)
 					return nil
 				}, o)
 		}
@@ -335,7 +337,7 @@ func (s *espStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache,
 			i := i
 			p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
 				estElems(E*rr.Len()*mdim), func() error {
-					espXfer(rsOut[i], combinedPad.Data(), E, mdim, tpad, 0, i*spad, rr, false)
+					espXfer(w.stagingPool(), rsOut[i], combinedPad.Data(), E, mdim, tpad, 0, i*spad, rr, false)
 					return nil
 				}, rs)
 		}
@@ -379,7 +381,7 @@ func (s *espStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache
 			i := i
 			packIDs[i] = p.Add(fmt.Sprintf("G%d[%d]", c, i), KindPack, intraStream(i),
 				estElems(E*rr.Len()*mdim), func() error {
-					espXfer(agdData[i], dpd, E, mdim, tpad, 0, i*spad, rr, true)
+					espXfer(w.stagingPool(), agdData[i], dpd, E, mdim, tpad, 0, i*spad, rr, true)
 					return nil
 				})
 		}
@@ -415,7 +417,7 @@ func (s *espStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache
 			unpack := p.Add(fmt.Sprintf("Ud%d[%d]", c, g), KindPack, intraStream(g),
 				estElems(R*E*rr.Len()*mdim), func() error {
 					for i := 0; i < R; i++ {
-						espXfer(agdOut[g], dyFull[g].Data(), E, mdim, tpad, i*spad, i*spad, rr, false)
+						espXfer(w.stagingPool(), agdOut[g], dyFull[g].Data(), E, mdim, tpad, i*spad, i*spad, rr, false)
 					}
 					return nil
 				}, agIDs[c])
@@ -445,7 +447,7 @@ func (s *espStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache
 				}, unpackB[g])
 			packDx[g] = p.Add(fmt.Sprintf("Pd%d[%d]", c, g), KindPack, intraStream(g),
 				estElems(E*rr.Len()*mdim), func() error {
-					espXfer(rsData[g], dxFull[g].Data(), E, mdim, tpad, g*spad, g*spad, rr, true)
+					espXfer(w.stagingPool(), rsData[g], dxFull[g].Data(), E, mdim, tpad, g*spad, g*spad, rr, true)
 					return nil
 				}, b2Last[g])
 		}
@@ -465,7 +467,7 @@ func (s *espStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache
 			i := i
 			p.Add(fmt.Sprintf("V%d[%d]", c, i), KindPack, intraStream(i),
 				estElems(E*rr.Len()*mdim), func() error {
-					espXfer(rsOut[i], dScatteredPad.Data(), E, mdim, tpad, 0, i*spad, rr, false)
+					espXfer(w.stagingPool(), rsOut[i], dScatteredPad.Data(), E, mdim, tpad, 0, i*spad, rr, false)
 					return nil
 				}, rs)
 		}

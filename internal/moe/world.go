@@ -2,6 +2,7 @@ package moe
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/comm"
 	"repro/internal/runtime"
@@ -31,6 +32,19 @@ type World struct {
 	cfg   WorldConfig
 	egrp  int // experts per rank (expert-sharding owner groups)
 	strat ParallelStrategy
+
+	// Resource governance: the planned worker split across live streams.
+	// Each rank's compute stream owns a scoped tensor pool of
+	// computeWorkers workers and runs on an OS-thread-pinned goroutine;
+	// the communication streams (pack/unpack staging) share one small
+	// commPool. scoped=false falls back to the process-default pool
+	// everywhere — the oversubscription baseline benchmarks compare
+	// against.
+	scoped         bool
+	computeWorkers int
+	commWorkers    int
+	computePools   []*tensor.Pool
+	commPool       *tensor.Pool
 
 	seq      bool // execute plans sequentially (no-overlap baseline)
 	sync     BackwardSyncer
@@ -132,7 +146,99 @@ func NewWorld(layer *MOELayer, cfg WorldConfig) (*World, error) {
 	if err := strat.Validate(layer, cfg); err != nil {
 		return nil, err
 	}
-	return &World{layer: layer, cfg: cfg, egrp: e / cfg.Ranks, strat: strat}, nil
+	w := &World{layer: layer, cfg: cfg, egrp: e / cfg.Ranks, strat: strat, scoped: true}
+	w.planResources()
+	return w, nil
+}
+
+// planResources decides the worker split across the plan's live streams
+// from the machine width at construction time: the R compute streams get
+// equal scoped pools, and the communication streams share one small
+// dedicated allotment for their staging kernels, so nothing fans out onto
+// one global queue (the Lina-style compute/comm partition, applied to
+// kernel fan-out). Note the allotment caps how wide a staging copy may
+// shard, not how many staging streams run at once — each stream still
+// executes on its own goroutine, which is the pipeline's structural
+// concurrency, not pool oversubscription. The split is a planned
+// quantity: every executed plan binds it to its streams, so the measured
+// trace reports it alongside the intervals.
+func (w *World) planResources() {
+	avail := tensor.Workers()
+	R := w.cfg.Ranks
+	w.commWorkers = 1
+	if avail >= 4*R && avail >= 8 {
+		w.commWorkers = 2
+	}
+	w.computeWorkers = (avail - w.commWorkers) / R
+	if w.computeWorkers < 1 {
+		w.computeWorkers = 1
+	}
+	w.computePools = make([]*tensor.Pool, R)
+	for j := range w.computePools {
+		w.computePools[j] = tensor.NewPool(w.computeWorkers)
+	}
+	w.commPool = tensor.NewPool(w.commWorkers)
+}
+
+// computePool returns rank j's scoped compute pool (nil when scoped pools
+// are disabled, which designates the process-default pool).
+func (w *World) computePool(j int) *tensor.Pool {
+	if !w.scoped {
+		return nil
+	}
+	return w.computePools[j]
+}
+
+// stagingPool returns the shared communication-staging pool (nil when
+// scoped pools are disabled).
+func (w *World) stagingPool() *tensor.Pool {
+	if !w.scoped {
+		return nil
+	}
+	return w.commPool
+}
+
+// SetScopedPools toggles resource governance: true (the default) backs
+// each compute stream with its own scoped worker pool, pins compute-stream
+// goroutines to OS threads and routes staging through the small comm
+// allotment; false reverts every kernel to the process-default pool with
+// unpinned streams — the oversubscription baseline. Results are identical
+// either way. Takes effect from the next Forward (a forward/backward pair
+// must run under one setting: the pools are threaded into the forward
+// caches).
+func (w *World) SetScopedPools(on bool) { w.scoped = on }
+
+// ResourcePlan reports the planned per-stream worker split: workers per
+// compute stream and the shared communication allotment.
+func (w *World) ResourcePlan() (computeWorkers, commWorkers int) {
+	return w.computeWorkers, w.commWorkers
+}
+
+// Close releases the scoped pools' worker goroutines. The world must be
+// idle; it stays usable afterwards (kernels degrade to inline execution),
+// but Close is meant for when the world is done.
+func (w *World) Close() {
+	for _, p := range w.computePools {
+		p.Close()
+	}
+	w.commPool.Close()
+}
+
+// bindStreams records the resource plan on an executable plan: every live
+// compute stream is pinned with its scoped worker share; everything else
+// (the AlltoAll/AG/RS chains and the per-rank staging streams) carries the
+// comm allotment.
+func (w *World) bindStreams(p *runtime.Plan) {
+	if !w.scoped {
+		return
+	}
+	for _, s := range p.Streams() {
+		if strings.HasPrefix(s, "compute:") {
+			p.BindStream(s, runtime.Binding{Workers: w.computeWorkers, PinOS: true})
+		} else {
+			p.BindStream(s, runtime.Binding{Workers: w.commWorkers})
+		}
+	}
 }
 
 // Ranks returns R and Chunked whether the fine-grained (chunk- or
@@ -227,6 +333,7 @@ func (w *World) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *WorldCac
 
 	p := runtime.NewPlan()
 	w.strat.BuildForward(w, p, cache, scatPad, combinedPad)
+	w.bindStreams(p)
 	if err := w.run(p); err != nil {
 		return nil, nil, err
 	}
@@ -257,6 +364,7 @@ func (w *World) Backward(cache *WorldCache, dy *tensor.Tensor) (*tensor.Tensor, 
 
 	p := runtime.NewPlan()
 	w.strat.BuildBackward(w, p, cache, dpad, dScatteredPad)
+	w.bindStreams(p)
 	if err := w.run(p); err != nil {
 		return nil, err
 	}

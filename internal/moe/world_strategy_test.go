@@ -308,50 +308,128 @@ func TestWorldStepStrategies(t *testing.T) {
 	}
 }
 
+// TestWorldResourceBindings pins the resource-governance contract: the
+// measured trace of a scoped world reports exactly the planned worker
+// split (pinned compute streams with the compute share, everything else
+// the comm allotment); a global-pool world reports nothing; and a world
+// stays bit-identical to the sequential layer with governance off (the
+// scoped default is covered by every other bit-identity test).
+func TestWorldResourceBindings(t *testing.T) {
+	x := tensor.RandN(xrand.New(65), 1, 96, 32)
+	dy := tensor.RandN(xrand.New(66), 1, 96, 32)
+	for _, strat := range []Strategy{StrategyEP, StrategyESP} {
+		layer := strategyLayer(t, strat, false)
+		want := runSequentialLayer(t, layer, x, dy)
+
+		w, err := NewWorld(layer, WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		w.SetScopedPools(false)
+		layer.ZeroGrad()
+		y, cache, err := w.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx, err := w.Backward(cache, dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareSnapshots(t, fmt.Sprintf("%s global pools", strat), want,
+			worldSnapshot{y: y, dx: dx, grads: snapGrads(layer)})
+		if res := w.LastTrace().Resources; len(res) != 0 {
+			t.Fatalf("%s: global-pool trace reports bindings: %v", strat, res)
+		}
+
+		w.SetScopedPools(true)
+		layer.ZeroGrad()
+		if _, cache, err = w.Forward(x, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err = w.Backward(cache, dy); err != nil {
+			t.Fatal(err)
+		}
+		cw, mw := w.ResourcePlan()
+		if cw < 1 || mw < 1 {
+			t.Fatalf("%s: degenerate resource plan (%d, %d)", strat, cw, mw)
+		}
+		res := w.LastTrace().Resources
+		if len(res) == 0 {
+			t.Fatalf("%s: scoped trace carries no resource report", strat)
+		}
+		for s, r := range res {
+			if strings.HasPrefix(s, "compute:") {
+				if r.Workers != cw || !r.Pinned {
+					t.Fatalf("%s: compute stream %s bound %+v, want workers=%d pinned", strat, s, r, cw)
+				}
+			} else if r.Workers != mw || r.Pinned {
+				t.Fatalf("%s: comm stream %s bound %+v, want workers=%d unpinned", strat, s, r, mw)
+			}
+		}
+		for _, s := range w.LastPlan().Streams() {
+			if _, ok := res[s]; !ok {
+				t.Fatalf("%s: live stream %s missing from the resource report", strat, s)
+			}
+		}
+	}
+}
+
 // BenchmarkWorldStrategies measures one fwd+bwd pass per strategy at R=4,
 // r=2 — the strategy sweep the CI smoke step executes with -benchtime=1x.
+// Each strategy runs twice: with resource governance (per-stream scoped
+// pools + pinned compute streams, the default) and against the
+// global-pool baseline every stream used to share; on a multi-core runner
+// the scoped variant must not lose to the baseline.
 func BenchmarkWorldStrategies(b *testing.B) {
 	const m, e, h, tokens = 64, 8, 128, 512
 	for _, strat := range Strategies() {
-		b.Run(string(strat), func(b *testing.B) {
-			rng := xrand.New(91)
-			var g Gate
-			var err error
-			if strat == StrategyDenseSlots {
-				g, err = NewSoftMoEGate(GateConfig{Experts: e, TopK: 1, Factor: 1}, m, tokens/e, rng)
-			} else {
-				g, err = NewGShardGate(GateConfig{Experts: e, TopK: 2, Factor: 1.2}, m, rng)
-			}
-			if err != nil {
-				b.Fatal(err)
-			}
-			exps := make([]Expert, e)
-			for i := range exps {
-				if exps[i], err = NewGPTFFN(m, h, rng); err != nil {
-					b.Fatal(err)
+		for _, pools := range []struct {
+			name   string
+			scoped bool
+		}{{"scoped", true}, {"global", false}} {
+			b.Run(string(strat)+"/pools="+pools.name, func(b *testing.B) {
+				rng := xrand.New(91)
+				var g Gate
+				var err error
+				if strat == StrategyDenseSlots {
+					g, err = NewSoftMoEGate(GateConfig{Experts: e, TopK: 1, Factor: 1}, m, tokens/e, rng)
+				} else {
+					g, err = NewGShardGate(GateConfig{Experts: e, TopK: 2, Factor: 1.2}, m, rng)
 				}
-			}
-			layer, err := NewMOELayer(LayerConfig{M: m, Gate: g, Order: TutelOrder{}, Experts: exps})
-			if err != nil {
-				b.Fatal(err)
-			}
-			w, err := NewWorld(layer, WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: strat})
-			if err != nil {
-				b.Fatal(err)
-			}
-			x := tensor.RandN(xrand.New(92), 1, tokens, m)
-			dy := tensor.RandN(xrand.New(93), 1, tokens, m)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				layer.ZeroGrad()
-				_, cache, err := w.Forward(x, false)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := w.Backward(cache, dy); err != nil {
+				exps := make([]Expert, e)
+				for i := range exps {
+					if exps[i], err = NewGPTFFN(m, h, rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+				layer, err := NewMOELayer(LayerConfig{M: m, Gate: g, Order: TutelOrder{}, Experts: exps})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				w, err := NewWorld(layer, WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: strat})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				w.SetScopedPools(pools.scoped)
+				x := tensor.RandN(xrand.New(92), 1, tokens, m)
+				dy := tensor.RandN(xrand.New(93), 1, tokens, m)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					layer.ZeroGrad()
+					_, cache, err := w.Forward(x, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := w.Backward(cache, dy); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

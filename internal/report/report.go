@@ -35,6 +35,11 @@ func (t *Table) AddRow(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
+// Rows returns the formatted cells, row by row — the machine-readable view
+// of the table the -json emitters serialize. The returned slices are the
+// table's own; callers must not mutate them.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // String renders the table.
 func (t *Table) String() string {
 	cols := len(t.Headers)

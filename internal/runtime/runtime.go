@@ -25,6 +25,7 @@ package runtime
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"time"
 
@@ -45,6 +46,22 @@ type task struct {
 	done chan struct{} // closed when the task finished (Execute only)
 }
 
+// Binding is the planned execution-resource assignment of one stream: the
+// tensor-pool worker share its tasks' kernels fan out onto, and whether the
+// stream's executor goroutine is pinned to an OS thread for the duration of
+// Execute. The binding itself is declarative — the pool that realizes the
+// worker share is threaded into the task closures by whoever builds the
+// plan — but it is what the measured trace reports, so the planned split
+// and the measured intervals travel together.
+type Binding struct {
+	// Workers is the planned tensor-pool worker share: the fan-out budget
+	// of the kernels this stream's tasks run, not a cap on how many bound
+	// streams execute concurrently (each stream always has its own
+	// executor goroutine). 0 = unbound, shared default pool.
+	Workers int
+	PinOS   bool // pin the stream's executor goroutine via runtime.LockOSThread
+}
+
 // Plan is a schedule under construction: a DAG of executable tasks with
 // stream assignments. Enqueue order per stream is the execution order, as
 // on a CUDA stream and exactly as in sim.Graph.
@@ -52,12 +69,66 @@ type Plan struct {
 	tasks    []*task
 	streams  map[string][]int
 	order    []string // stream names in first-use order
+	bindings map[string]Binding
 	executed bool
 }
 
 // NewPlan returns an empty schedule.
 func NewPlan() *Plan {
 	return &Plan{streams: make(map[string][]int)}
+}
+
+// BindStream records the resource binding of a stream. Execute pins bound
+// streams' goroutines when requested and attaches every binding to the
+// measured trace. Binding a stream that ends up with no tasks is allowed
+// and reported; the last binding for a name wins.
+func (p *Plan) BindStream(stream string, b Binding) {
+	if p.bindings == nil {
+		p.bindings = make(map[string]Binding)
+	}
+	p.bindings[stream] = b
+}
+
+// Bindings returns a copy of the stream resource bindings.
+func (p *Plan) Bindings() map[string]Binding {
+	out := make(map[string]Binding, len(p.bindings))
+	for s, b := range p.bindings {
+		out[s] = b
+	}
+	return out
+}
+
+// TaskInfo is the reporting view of one planned task.
+type TaskInfo struct {
+	ID     int
+	Label  string
+	Kind   string
+	Stream string
+	Est    float64 // modelled duration/volume estimate (Simulate units)
+	Deps   []int
+}
+
+// Tasks returns the planned tasks in id order — the structural view
+// calibration uses to pair each task's volume estimate with its measured
+// duration (trace intervals expose kind and timing but not the estimate).
+func (p *Plan) Tasks() []TaskInfo {
+	out := make([]TaskInfo, len(p.tasks))
+	for i, t := range p.tasks {
+		out[i] = TaskInfo{ID: t.id, Label: t.label, Kind: t.kind, Stream: t.stream, Est: t.est, Deps: append([]int(nil), t.deps...)}
+	}
+	return out
+}
+
+// resources converts the bindings into the trace-attached report.
+func (p *Plan) resources() map[string]sim.StreamResources {
+	if len(p.bindings) == 0 {
+		return nil
+	}
+	out := make(map[string]sim.StreamResources, len(p.bindings))
+	for s, b := range p.bindings {
+		out[s] = sim.StreamResources{Workers: b.Workers, Pinned: b.PinOS}
+	}
+	return out
 }
 
 // Add enqueues a task on a stream and returns its id. est is the modelled
@@ -144,9 +215,19 @@ func (p *Plan) Execute() (*sim.Trace, error) {
 	var wg sync.WaitGroup
 	for _, s := range p.order {
 		queue := p.streams[s]
+		pin := p.bindings[s].PinOS
 		wg.Add(1)
 		go func(queue []int) {
 			defer wg.Done()
+			if pin {
+				// Pin the stream's executor to an OS thread for its whole
+				// queue — the CPU analogue of issuing a CUDA stream from a
+				// dedicated, affinity-stable host thread. The scheduler
+				// keeps the thread's cache and NUMA placement stable
+				// instead of migrating the goroutine mid-pipeline.
+				goruntime.LockOSThread()
+				defer goruntime.UnlockOSThread()
+			}
 			for _, id := range queue {
 				t := p.tasks[id]
 				// A dependency was enqueued earlier on this or another
@@ -177,7 +258,9 @@ func (p *Plan) Execute() (*sim.Trace, error) {
 			Finish: timings[i].finish.Seconds() * 1e3,
 		}
 	}
-	return sim.NewTrace(intervals, p.order), firstErr
+	tr := sim.NewTrace(intervals, p.order)
+	tr.Resources = p.resources()
+	return tr, firstErr
 }
 
 // ExecuteSequential runs every closure one after another in task-id order
@@ -205,6 +288,9 @@ func (p *Plan) ExecuteSequential() (*sim.Trace, error) {
 			Finish: time.Since(t0).Seconds() * 1e3,
 		}
 	}
+	// No resource report: a trace documents the binding the execution ran
+	// under, and the sequential baseline runs everything on one unpinned
+	// goroutine regardless of what the plan declared.
 	return sim.NewTrace(intervals, p.order), firstErr
 }
 

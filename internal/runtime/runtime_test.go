@@ -2,11 +2,13 @@ package runtime
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/tensor"
 )
 
 // TestExecuteRespectsDeps builds a diamond A -> {B, C} -> D across three
@@ -99,6 +101,78 @@ func TestExecuteStreamSerialization(t *testing.T) {
 	}
 	if maxInflight.Load() < 2 {
 		t.Fatalf("independent streams never overlapped (max inflight %d)", maxInflight.Load())
+	}
+}
+
+// TestExecuteContentionResourceReport drives Execute with more live
+// streams than pool workers: six streams whose tasks all hammer one
+// width-2 scoped tensor pool, a chain dependency per stream and a
+// cross-stream barrier task. Under -race this pins that (a) stream
+// serialization and dependency discipline survive worker contention —
+// tasks blocked on the shared pool must not let a later task on their
+// stream start — and (b) the measured trace's resource report matches the
+// declared bindings exactly, including a bound-but-empty stream.
+func TestExecuteContentionResourceReport(t *testing.T) {
+	const streams = 6
+	pool := tensor.NewPool(2) // deliberately fewer workers than live streams
+	defer pool.Close()
+
+	p := NewPlan()
+	var perStream [streams]atomic.Int32
+	cells := make([][]float64, streams)
+	work := func(s int) func() error {
+		return func() error {
+			if perStream[s].Add(1) > 1 {
+				t.Errorf("stream %d ran two tasks concurrently", s)
+			}
+			defer perStream[s].Add(-1)
+			pool.ParallelFor(32, func(i int) {
+				cells[s][i]++
+			})
+			return nil
+		}
+	}
+	lasts := make([]int, streams)
+	for s := 0; s < streams; s++ {
+		cells[s] = make([]float64, 32)
+		name := fmt.Sprintf("st:%d", s)
+		p.BindStream(name, Binding{Workers: 1, PinOS: s%2 == 0})
+		id := p.Add("A", "k", name, 1, work(s))
+		lasts[s] = p.Add("B", "k", name, 1, work(s), id)
+	}
+	p.BindStream("idle", Binding{Workers: 1}) // bound, never used by a task
+	barrier := p.Add("X", "k", "st:0", 1, work(0), lasts...)
+	_ = barrier
+
+	tr, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < streams; s++ {
+		want := 2.0
+		if s == 0 {
+			want = 3 // the barrier task runs on stream 0
+		}
+		for i, v := range cells[s] {
+			if v != want {
+				t.Fatalf("stream %d cell %d = %v, want %v", s, i, v, want)
+			}
+		}
+	}
+	if len(tr.Resources) != streams+1 {
+		t.Fatalf("resource report has %d streams, want %d", len(tr.Resources), streams+1)
+	}
+	for s := 0; s < streams; s++ {
+		r, ok := tr.Resources[fmt.Sprintf("st:%d", s)]
+		if !ok || r.Workers != 1 || r.Pinned != (s%2 == 0) {
+			t.Fatalf("stream %d resource report %+v does not match binding", s, r)
+		}
+	}
+	if r := tr.Resources["idle"]; r.Workers != 1 || r.Pinned {
+		t.Fatalf("idle stream resource report %+v does not match binding", r)
+	}
+	if tr.ResourceSummary() == "" {
+		t.Fatal("ResourceSummary empty for a bound trace")
 	}
 }
 

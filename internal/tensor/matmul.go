@@ -8,18 +8,25 @@ const matmulParallelThreshold = 1 << 18
 // MatMul returns a @ b for 2-D tensors with shapes (m,k) and (k,n).
 func MatMul(a, b *Tensor) *Tensor {
 	out := New(mmShape(a, b, "MatMul"), b.shape[1])
-	matmulInto(out.data, a.data, b.data, a.shape[0], a.shape[1], b.shape[1])
+	defaultPool.matmulInto(out.data, a.data, b.data, a.shape[0], a.shape[1], b.shape[1])
 	return out
 }
 
 // MatMulInto computes dst = a @ b, overwriting dst, which must be (m,n).
 // With a pooled dst (GetUninit) this is the allocation-free GEMM the hot
-// path uses.
-func MatMulInto(dst, a, b *Tensor) {
+// path uses. Rows shard over the default pool; see Pool.MatMulInto for the
+// scoped variant.
+func MatMulInto(dst, a, b *Tensor) { defaultPool.MatMulInto(dst, a, b) }
+
+// MatMulInto computes dst = a @ b with the row sharding bound to p's
+// worker budget instead of the default pool — the GEMM entry point for
+// code running on a scoped compute stream. A nil receiver uses the default
+// pool. Results are bit-identical at any width.
+func (p *Pool) MatMulInto(dst, a, b *Tensor) {
 	m := mmShape(a, b, "MatMulInto")
 	n := b.shape[1]
 	checkDst(dst, m, n, "MatMulInto")
-	matmulInto(dst.data, a.data, b.data, m, a.shape[1], n)
+	p.self().matmulInto(dst.data, a.data, b.data, m, a.shape[1], n)
 }
 
 // mmShape validates a 2-D pair with matching inner dimension and returns m.
@@ -40,17 +47,17 @@ func checkDst(dst *Tensor, m, n int, op string) {
 }
 
 // matmulInto computes dst = A @ B where A is (m,k), B is (k,n), all
-// row-major. Rows of dst are sharded over the worker pool; each output
-// element is accumulated entirely by one goroutine in a fixed order, so the
-// result is identical at any parallel width.
-func matmulInto(dst, a, b []float64, m, k, n int) {
+// row-major. Rows of dst are sharded over the pool; each output element is
+// accumulated entirely by one goroutine in a fixed order, so the result is
+// identical at any parallel width.
+func (p *Pool) matmulInto(dst, a, b []float64, m, k, n int) {
 	// The Workers()==1 check precedes the closure so the single-threaded
 	// path stays allocation-free.
-	if m*k*n < matmulParallelThreshold || m == 1 || Workers() == 1 {
+	if m*k*n < matmulParallelThreshold || m == 1 || p.Workers() == 1 {
 		matmulRows(dst, a, b, 0, m, k, n)
 		return
 	}
-	ParallelRange(m, func(lo, hi int) {
+	p.ParallelRange(m, func(lo, hi int) {
 		matmulRows(dst, a, b, lo, hi, k, n)
 	})
 }
@@ -104,6 +111,12 @@ func MatMulT1(a, b *Tensor) *Tensor {
 	return out
 }
 
+// MatMulT1Into computes dst = aᵀ @ b with the pool convention of
+// Pool.MatMulInto. The kernel itself is inherently sequential (every rank-1
+// update touches all of dst), so the pool only documents intent; it exists
+// so a stream's GEMM calls are uniformly pool-bound.
+func (p *Pool) MatMulT1Into(dst, a, b *Tensor) { MatMulT1Into(dst, a, b) }
+
 // MatMulT1Into computes dst = aᵀ @ b, overwriting dst, which must be (m,n)
 // for a (k,m) and b (k,n).
 func MatMulT1Into(dst, a, b *Tensor) {
@@ -149,25 +162,31 @@ func MatMulT2(a, b *Tensor) *Tensor {
 }
 
 // MatMulT2Into computes dst = a @ bᵀ, overwriting dst, which must be (m,n)
-// for a (m,k) and b (n,k). Both operands stream row-major, so the inner
-// loops are pure dot products; they are blocked four-wide over rows of b to
-// reuse each load of a's row.
-func MatMulT2Into(dst, a, b *Tensor) {
+// for a (m,k) and b (n,k). Rows shard over the default pool; see
+// Pool.MatMulT2Into for the scoped variant.
+func MatMulT2Into(dst, a, b *Tensor) { defaultPool.MatMulT2Into(dst, a, b) }
+
+// MatMulT2Into computes dst = a @ bᵀ with the row sharding bound to p's
+// worker budget (nil = default pool). Both operands stream row-major, so
+// the inner loops are pure dot products; they are blocked four-wide over
+// rows of b to reuse each load of a's row.
+func (p *Pool) MatMulT2Into(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulT2Into requires 2-D tensors")
 	}
+	p = p.self()
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic("tensor: MatMulT2Into inner dimension mismatch")
 	}
 	checkDst(dst, m, n, "MatMulT2Into")
-	if m*k*n < matmulParallelThreshold || m == 1 || Workers() == 1 {
+	if m*k*n < matmulParallelThreshold || m == 1 || p.Workers() == 1 {
 		matmulT2Rows(dst.data, a.data, b.data, 0, m, k, n)
 		return
 	}
 	ad, bd, dd := a.data, b.data, dst.data
-	ParallelRange(m, func(lo, hi int) {
+	p.ParallelRange(m, func(lo, hi int) {
 		matmulT2Rows(dd, ad, bd, lo, hi, k, n)
 	})
 }
@@ -238,6 +257,15 @@ func BatchedMatMul(a, b *Tensor) *Tensor {
 	if bs*m*k*n < matmulParallelThreshold || Workers() == 1 {
 		for i := 0; i < bs; i++ {
 			matmulRows(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], 0, m, k, n)
+		}
+		return out
+	}
+	if bs <= serialCutoff {
+		// Too few batches to fan out over; recover the parallelism inside
+		// each product instead (row sharding), which the per-batch leaf
+		// kernel above deliberately skips.
+		for i := 0; i < bs; i++ {
+			defaultPool.matmulInto(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], b.data[i*k*n:(i+1)*k*n], m, k, n)
 		}
 		return out
 	}

@@ -1,12 +1,22 @@
 package tensor
 
 // This file is the shared compute-and-memory runtime behind the real tensor
-// path: a lazily-started worker pool that every parallel kernel (MatMul,
-// BatchedMatMul, the per-expert loops in internal/moe, the per-head loops in
+// path: worker pools that every parallel kernel (MatMul, BatchedMatMul, the
+// per-expert loops in internal/moe, the per-head loops in
 // internal/attention) shards work onto, and a size-bucketed free-list of
 // tensor buffers that eliminates per-op allocations on the hot path.
 //
-// Worker pool
+// Worker pools
+//
+// There are two kinds of pool. The process-wide default pool backs the
+// package-level ParallelFor/ParallelRange and the plain MatMul* kernels; its
+// width follows Workers(). Scoped pools (NewPool) carve a fixed worker
+// budget out of the machine so that independent execution streams — the
+// per-rank compute streams of internal/runtime plans — stop oversubscribing
+// one shared queue: each stream's kernels fan out only onto that stream's
+// allotment. Pool-bound kernels are methods on *Pool; a nil *Pool designates
+// the default pool, so call sites can thread an optional pool without
+// branching.
 //
 // ParallelFor and ParallelRange split an index space into at most Workers()
 // contiguous chunks. Chunk boundaries never split a single output element's
@@ -14,7 +24,11 @@ package tensor
 // produces bit-identical results whether it runs on one worker or many.
 // Submission is non-blocking: when the queue is full (including when a
 // worker itself calls ParallelFor, which nested kernels do), the chunk runs
-// inline on the caller, so nesting can never deadlock.
+// inline on the caller, so nesting can never deadlock. Index spaces of at
+// most serialCutoff items run serially on the caller: at that size the
+// fan-out costs more than it can save even for moderately sized items, and
+// heavy items regain their parallelism through the nested kernels they call
+// (see BenchmarkParallelRangeTiny for the measurement behind the cutoff).
 //
 // Buffer free-list
 //
@@ -24,7 +38,9 @@ package tensor
 //
 //   - Only the holder of a tensor obtained from Get/GetUninit may Put it,
 //     and at most once. Put on a tensor from New/FromData or on any view is
-//     a safe no-op.
+//     a safe no-op (SetPoolDebug(true) turns the view case into a panic,
+//     because a view aliases a parent whose backing array must not reach
+//     the free-list through it).
 //   - A tensor must not be Put while any view of it (View/Slice/Reshape/Row)
 //     is still reachable: views alias the backing array, and Put hands that
 //     array to the next Get.
@@ -38,10 +54,11 @@ import (
 	"sync/atomic"
 )
 
-// workerCount is the configured parallel width; 0 means "use GOMAXPROCS".
+// workerCount is the configured parallel width of the default pool;
+// 0 means "use GOMAXPROCS".
 var workerCount atomic.Int64
 
-// Workers returns the parallel width kernels shard to.
+// Workers returns the parallel width kernels shard to on the default pool.
 func Workers() int {
 	if n := int(workerCount.Load()); n > 0 {
 		return n
@@ -49,30 +66,89 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// SetWorkers overrides the parallel width (tests use it to exercise the
-// concurrent paths regardless of GOMAXPROCS). n <= 0 restores the default.
+// SetWorkers overrides the default pool's parallel width (tests use it to
+// exercise the concurrent paths regardless of GOMAXPROCS). n <= 0 restores
+// the default. Scoped pools (NewPool) are unaffected.
 func SetWorkers(n int) { workerCount.Store(int64(n)) }
 
 const maxPoolGoroutines = 32
 
-var (
-	startOnce sync.Once
-	workQueue chan func()
-)
+// serialCutoff is the index-space size at or below which ParallelRange and
+// ParallelFor run serially on the caller instead of fanning out. Measured
+// by BenchmarkParallelRangeTiny: at n=2 the fan-out (one queued chunk, a
+// WaitGroup hand-off and the helper drain) costs ~0.7µs over the free
+// serial loop, several times the total of light items; from n=4 upward
+// medium-weight items amortize the overhead, so the cutoff stops there.
+// Heavy per-item work loses nothing at n≤2 because the kernels it calls
+// (MatMulInto and friends) shard their own rows across the pool.
+const serialCutoff = 2
 
-func startPool() {
-	startOnce.Do(func() {
-		n := runtime.GOMAXPROCS(0)
-		if n < 4 {
-			n = 4
+// Pool is a worker pool kernels shard onto. The zero value is not usable;
+// use NewPool for a scoped pool or a nil *Pool for the process default.
+// A scoped pool caps the parallel width of every kernel bound to it at its
+// fixed budget, independent of Workers() — the resource-partitioning lever
+// that keeps concurrent compute streams from oversubscribing one queue.
+type Pool struct {
+	width  int // fixed parallel width; 0 = the default pool (tracks Workers())
+	start  sync.Once
+	queue  chan func()
+	closed atomic.Bool
+}
+
+// defaultPool backs the package-level functions and nil *Pool methods.
+var defaultPool Pool
+
+// NewPool returns a scoped pool with a fixed parallel width of n (clamped
+// to at least 1). Its worker goroutines start lazily on first parallel use;
+// a pool of width 1 never starts any. Call Close when the pool is no longer
+// needed to release them.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{width: n}
+}
+
+// self resolves the nil-receiver convention: a nil *Pool is the default
+// pool.
+func (p *Pool) self() *Pool {
+	if p == nil {
+		return &defaultPool
+	}
+	return p
+}
+
+// Workers returns the pool's parallel width.
+func (p *Pool) Workers() int {
+	p = p.self()
+	if p.width > 0 {
+		return p.width
+	}
+	return Workers()
+}
+
+// startWorkers launches the pool's goroutines once. The caller of a
+// parallel region always executes chunks itself, so width-1 extra
+// goroutines realize a parallel width of width.
+func (p *Pool) startWorkers() {
+	p.start.Do(func() {
+		n := p.width - 1
+		if p.width == 0 { // default pool: size to the machine
+			n = runtime.GOMAXPROCS(0)
+			if n < 4 {
+				n = 4
+			}
 		}
 		if n > maxPoolGoroutines {
 			n = maxPoolGoroutines
 		}
-		workQueue = make(chan func(), 4*maxPoolGoroutines)
+		if n < 1 {
+			n = 1
+		}
+		p.queue = make(chan func(), 4*maxPoolGoroutines)
 		for i := 0; i < n; i++ {
 			go func() {
-				for task := range workQueue {
+				for task := range p.queue {
 					task()
 				}
 			}()
@@ -80,35 +156,61 @@ func startPool() {
 	})
 }
 
+// Close releases a scoped pool's worker goroutines. The pool must be idle:
+// no parallel region may be running or started afterwards (later parallel
+// calls degrade to inline execution rather than crash, but that is a
+// misuse, not a feature). Close on the default pool panics.
+func (p *Pool) Close() {
+	if p == nil || p.width == 0 {
+		panic("tensor: Close on the default pool")
+	}
+	if p.closed.CompareAndSwap(false, true) {
+		// Start-then-close handles the never-used pool without tracking
+		// extra state; the goroutines exit immediately.
+		p.startWorkers()
+		close(p.queue)
+	}
+}
+
 // submit hands task to a pool worker, or runs it inline when the queue is
-// full. Inline fallback keeps nested ParallelFor calls deadlock-free.
-func submit(task func()) {
+// full (or the pool was closed). Inline fallback keeps nested ParallelFor
+// calls deadlock-free.
+func (p *Pool) submit(task func()) {
+	if p.closed.Load() {
+		task()
+		return
+	}
 	select {
-	case workQueue <- task:
+	case p.queue <- task:
 	default:
 		task()
 	}
 }
 
-// ParallelRange splits [0, n) into at most Workers() contiguous chunks and
-// runs fn(lo, hi) on each, returning when all complete. The caller executes
-// the first chunk itself, then helps drain the work queue until its chunks
-// finish — so even if every pool worker is itself blocked in a nested
-// ParallelRange, queued tasks always have someone running them and nesting
-// can never deadlock, regardless of how Workers() compares to the pool's
-// goroutine count.
-func ParallelRange(n int, fn func(lo, hi int)) {
-	w := Workers()
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
+// ParallelRange splits [0, n) into at most p.Workers() contiguous chunks
+// and runs fn(lo, hi) on each, returning when all complete. The caller
+// executes the first chunk itself, then helps drain the work queue until
+// its chunks finish — so even if every pool worker is itself blocked in a
+// nested ParallelRange, queued tasks always have someone running them and
+// nesting can never deadlock, regardless of how the width compares to the
+// pool's goroutine count.
+func (p *Pool) ParallelRange(n int, fn func(lo, hi int)) {
+	p = p.self()
+	if n <= serialCutoff {
 		if n > 0 {
 			fn(0, n)
 		}
 		return
 	}
-	startPool()
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	p.startWorkers()
 	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
 	for lo := chunk; lo < n; lo += chunk {
@@ -117,13 +219,24 @@ func ParallelRange(n int, fn func(lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
-		submit(func() {
+		p.submit(func() {
 			defer wg.Done()
 			fn(lo, hi)
 		})
 	}
 	fn(0, chunk)
-	helpWait(&wg)
+	p.helpWait(&wg)
+}
+
+// ParallelFor runs fn(i) for every i in [0, n), sharding the index space
+// over the pool. Iterations must be independent: they may run concurrently
+// and in any order across chunks.
+func (p *Pool) ParallelFor(n int, fn func(i int)) {
+	p.ParallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
 }
 
 // helpWait drains the work queue until it is momentarily empty, then
@@ -134,10 +247,14 @@ func ParallelRange(n int, fn func(lo, hi int)) {
 // goroutine will likewise drain), and wg.Wait must terminate. Draining
 // first costs no allocation and blocks the waiter behind at most the tasks
 // it chose to execute.
-func helpWait(wg *sync.WaitGroup) {
+func (p *Pool) helpWait(wg *sync.WaitGroup) {
 	for {
 		select {
-		case task := <-workQueue:
+		case task, ok := <-p.queue:
+			if !ok {
+				wg.Wait()
+				return
+			}
 			task()
 		default:
 			wg.Wait()
@@ -146,16 +263,12 @@ func helpWait(wg *sync.WaitGroup) {
 	}
 }
 
-// ParallelFor runs fn(i) for every i in [0, n), sharding the index space
-// over the worker pool. Iterations must be independent: they may run
-// concurrently and in any order across chunks.
-func ParallelFor(n int, fn func(i int)) {
-	ParallelRange(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			fn(i)
-		}
-	})
-}
+// ParallelRange splits [0, n) over the default pool; see Pool.ParallelRange.
+func ParallelRange(n int, fn func(lo, hi int)) { defaultPool.ParallelRange(n, fn) }
+
+// ParallelFor runs fn(i) for every i in [0, n) over the default pool; see
+// Pool.ParallelFor.
+func ParallelFor(n int, fn func(i int)) { defaultPool.ParallelFor(n, fn) }
 
 // maxPoolBucket caps pooled buffers at 2^26 elements (512 MiB of float64);
 // anything larger allocates directly and is never recycled.
@@ -163,6 +276,17 @@ const maxPoolBucket = 26
 
 // freeLists[b] holds *Tensor whose backing arrays have capacity exactly 2^b.
 var freeLists [maxPoolBucket + 1]sync.Pool
+
+// poolDebug turns free-list misuse that Put normally tolerates into a
+// panic; see SetPoolDebug.
+var poolDebug atomic.Bool
+
+// SetPoolDebug toggles debug mode for the buffer free-list. When on, Put on
+// a view (View/Slice/Reshape result) panics instead of no-oping: a view
+// aliases its parent's backing array, so a Put through it is always a bug —
+// either a leak (the caller meant to Put the parent) or, if the parent is
+// pooled, a latent double-free. Tests enable it to pin the ownership rules.
+func SetPoolDebug(on bool) { poolDebug.Store(on) }
 
 // bucketFor returns the free-list class for n elements: the smallest b with
 // 1<<b >= n.
@@ -213,12 +337,19 @@ func Get(shape ...int) *Tensor {
 // caller must not retain t, its Data(), or any view of it afterwards — and
 // must not Put the same tensor twice. Put is a no-op for tensors the pool
 // does not own (New/FromData results, views), so releasing a tensor of
-// unknown origin is safe; but an erroneous second Put of a pooled tensor is
-// only ignored until a Get re-issues the object, after which it would
-// return someone else's live buffer. "At most once" is the rule, not a
-// best-effort guard.
+// unknown origin is safe; under SetPoolDebug the view case panics instead,
+// because a view aliases a parent buffer Put must never capture. An
+// erroneous second Put of a pooled tensor is only ignored until a Get
+// re-issues the object, after which it would return someone else's live
+// buffer. "At most once" is the rule, not a best-effort guard.
 func Put(t *Tensor) {
-	if t == nil || !t.poolable {
+	if t == nil {
+		return
+	}
+	if !t.poolable {
+		if t.view && poolDebug.Load() {
+			panic("tensor: Put on a view (views alias their parent's backing array and are never pool-owned)")
+		}
 		return
 	}
 	t.poolable = false
