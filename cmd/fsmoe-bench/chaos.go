@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/fsmoe"
+	"repro/internal/report"
+)
+
+// chaosConfig is the small real-compute workload the chaos sweep hammers;
+// one fwd+bwd pass runs per iteration per cell, so it stays deliberately
+// lighter than the realpipe workloads.
+func chaosConfig() realpipeConfig {
+	return realpipeConfig{name: "chaos", m: 128, h: 64, e: 8, tokens: 512, degree: 2}
+}
+
+// chaosExperiment sweeps fault rate × strategy on the executable runtime:
+// transient faults injected into every collective kind (at the task level
+// and inside the collectives) are retried until the pass completes, and
+// the sweep reports completion counts, retries spent, the p50/p99 pass
+// times (retry backoff inflates the tail) and whether the surviving
+// output stayed bit-identical to the fault-free pass. A second table
+// downs a rank permanently and reports how degraded mode completed the
+// step. The iters argument (the -sample flag) is the passes per cell.
+func chaosExperiment(iters int) error {
+	if iters < 1 {
+		iters = 1
+	}
+	if iters > 32 {
+		iters = 32
+	}
+	const ranks = 4
+	cfg := chaosConfig()
+	fmt.Printf("== chaos: seeded fault injection on the executable runtime (R=%d, %d pass(es) per cell) ==\n", ranks, iters)
+
+	tb := report.NewTable("transient chaos sweep, one fwd+bwd pass per iteration",
+		"strategy", "fault-rate", "passes", "completed", "faults", "retries", "p50 ms", "p99 ms", "bit-identical")
+	for _, strat := range realpipeStrategies() {
+		layer, w, err := newRealpipeWorld(cfg, ranks, cfg.degree, strat)
+		if err != nil {
+			return err
+		}
+		x := fsmoe.RandTensor(81, cfg.tokens, cfg.m)
+		dy := fsmoe.RandTensor(82, cfg.tokens, cfg.m)
+
+		// Fault-free reference pass; also warms the pools and workers.
+		ref, _, _, _, err := chaosPass(layer, w, x, dy)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		for _, rate := range []float64{0, 0.01, 0.05} {
+			var times []float64
+			faults, retries, completed := 0, 0, 0
+			identical := true
+			for it := 0; it < iters; it++ {
+				if rate > 0 {
+					w.SetFaultPlan(fsmoe.NewFaultPlan(fsmoe.FaultSpec{
+						Seed: uint64(1000*it + 7),
+						KindProb: map[string]float64{
+							fsmoe.KindAlltoAll:      rate,
+							fsmoe.KindAllGather:     rate,
+							fsmoe.KindReduceScatter: rate,
+						},
+						CollectiveProb:       rate,
+						MaxTransientsPerTask: 2,
+					}))
+				} else {
+					w.SetFaultPlan(nil)
+				}
+				y, t, f, r, err := chaosPass(layer, w, x, dy)
+				if err != nil {
+					w.Close()
+					return err
+				}
+				completed++
+				times = append(times, t)
+				faults += f
+				retries += r
+				if y.MaxAbsDiff(ref) != 0 {
+					identical = false
+				}
+			}
+			tb.AddRow(string(strat), fmt.Sprintf("%.3f", rate), iters, completed,
+				faults, retries,
+				fmt.Sprintf("%.1f", percentile(times, 50)),
+				fmt.Sprintf("%.1f", percentile(times, 99)),
+				identical)
+		}
+		w.SetFaultPlan(nil)
+		w.Close()
+	}
+	emit(tb)
+	note("fault-rate = per-attempt transient probability on every collective kind (task-level KindProb and in-collective CollectiveProb); " +
+		"MaxTransientsPerTask=2 under the default 4-attempt retry budget, so every pass recovers")
+
+	// Permanent rank-down: the pass must complete degraded, not abort.
+	tb2 := report.NewTable("permanent rank-down mid-forward: degraded-mode completion",
+		"strategy", "phase", "rank", "lost-experts", "rerouted", "dropped", "retries", "recovery-ms")
+	for _, strat := range realpipeStrategies() {
+		layer, w, err := newRealpipeWorld(cfg, ranks, cfg.degree, strat)
+		if err != nil {
+			return err
+		}
+		x := fsmoe.RandTensor(81, cfg.tokens, cfg.m)
+		dy := fsmoe.RandTensor(82, cfg.tokens, cfg.m)
+		w.SetFaultPlan(fsmoe.NewFaultPlan(fsmoe.FaultSpec{
+			Seed: 5,
+			Down: &fsmoe.FaultDown{Rank: 1, Kind: fsmoe.KindExperts},
+		}))
+		layer.ZeroGrad()
+		_, cache, err := w.Forward(x, false)
+		if err != nil {
+			w.Close()
+			return fmt.Errorf("chaos: degraded forward must complete: %w", err)
+		}
+		if _, err := w.Backward(cache, dy); err != nil {
+			w.Close()
+			return fmt.Errorf("chaos: degraded backward must complete: %w", err)
+		}
+		deg := w.LastDegraded()
+		if deg == nil {
+			w.Close()
+			return fmt.Errorf("chaos: rank-down produced no DegradedResult (strategy %s)", strat)
+		}
+		tb2.AddRow(string(strat), deg.Phase, deg.Rank, len(deg.LostExperts),
+			deg.ReroutedTokens, deg.DroppedTokens, deg.Retries,
+			fmt.Sprintf("%.1f", deg.RecoveryMS))
+		w.Close()
+	}
+	emit(tb2)
+	note("a permanent failure completes the pass degraded: the dead rank's tokens are re-routed into surviving experts' " +
+		"free capacity (overflow dropped), dead experts freeze until ResetHealth; recovery-ms is the sequential fallback cost")
+	return nil
+}
+
+// chaosPass runs one fwd+bwd pass, returning the forward output, the
+// summed measured makespans and the fault/retry event counts of both
+// plans.
+func chaosPass(layer *fsmoe.Layer, w *fsmoe.World, x, dy *fsmoe.Tensor) (*fsmoe.Tensor, float64, int, int, error) {
+	layer.ZeroGrad()
+	total, faults, retries := 0.0, 0, 0
+	count := func() {
+		if tr := w.LastTrace(); tr != nil {
+			total += tr.Makespan
+			faults += tr.EventCount(fsmoe.EventFault)
+			retries += tr.EventCount(fsmoe.EventRetry)
+		}
+	}
+	y, cache, err := w.Forward(x, false)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	count()
+	if _, err := w.Backward(cache, dy); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	count()
+	return y.Clone(), total, faults, retries, nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of times.
+func percentile(times []float64, p float64) float64 {
+	if len(times) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), times...)
+	sort.Float64s(s)
+	idx := int(float64(len(s))*p/100.0+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

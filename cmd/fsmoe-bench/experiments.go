@@ -23,11 +23,12 @@ func experimentTable() map[string]func(int) error {
 		"realpipe":  func(int) error { return realpipe() },
 		"gradsync":  func(int) error { return gradsyncExperiment() },
 		"calibrate": func(int) error { return calibrateExperiment() },
+		"chaos":     chaosExperiment,
 	}
 }
 
 // allOrder is the presentation order of "-experiment all" — the simulated
-// paper experiments. realpipe, gradsync and calibrate execute real
+// paper experiments. realpipe, gradsync, calibrate and chaos execute real
 // multi-rank compute and are run explicitly, not as part of the paper
 // sweep.
 func allOrder() []string {

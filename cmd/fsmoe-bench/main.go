@@ -10,10 +10,11 @@
 //	fsmoe-bench -experiment gradsync
 //
 // Experiments: table2, table5, table6, fig4, fig5, fig6, fig7, fig8,
-// degrees, realpipe, gradsync, all. -sample N evaluates every Nth
-// configuration of the 1458 Table 4 grid (1 = full sweep). "all" runs the
-// simulated paper experiments; realpipe and gradsync execute real
-// multi-rank passes and are invoked explicitly.
+// degrees, realpipe, gradsync, calibrate, chaos, all. -sample N evaluates every Nth
+// configuration of the 1458 Table 4 grid (1 = full sweep; chaos reuses it
+// as passes per cell). "all" runs the simulated paper experiments;
+// realpipe, gradsync, calibrate and chaos execute real multi-rank passes
+// and are invoked explicitly.
 package main
 
 import (
@@ -31,8 +32,8 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|gradsync|calibrate|all")
-	sample := flag.Int("sample", 9, "evaluate every Nth Table 4 configuration (1 = all 1458)")
+	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|gradsync|calibrate|chaos|all")
+	sample := flag.Int("sample", 9, "evaluate every Nth Table 4 configuration (1 = all 1458); for chaos: passes per cell")
 	jsonOut := flag.Bool("json", false, "also write each experiment's tables to BENCH_<experiment>.json (perf-trajectory tracking)")
 	flag.Parse()
 

@@ -103,4 +103,38 @@
 // ShardedExpert implementations must accept the new trailing *WorkerPool
 // parameter in BeginChunked/BeginSharded and route their GEMMs through it
 // (nil means the shared default pool, preserving old behavior).
+//
+// # Fault tolerance
+//
+// The executable World survives injected failure. NewFaultPlan compiles a
+// FaultSpec — per-kind/per-stream transient probabilities, straggler
+// delays, in-collective failures, an optional permanent rank-down — into
+// a deterministic injector (every decision is a pure function of the
+// seed and the task identity, so chaos runs reproduce under any stream
+// interleaving); World.SetFaultPlan installs it.
+//
+// Transient faults fire before any buffer mutation and are retried with
+// exponential backoff and deterministic jitter under World.SetRetry's
+// policy (default: 4 attempts, collective kinds only — expert W-gradient
+// tasks accumulate in place and are never replayed). A recovered pass is
+// bit-identical to a fault-free one; the retries appear as events on the
+// measured trace (Trace.Events, Trace.EventCount with EventFault /
+// EventRetry / EventStraggler / EventSkip).
+//
+// World.SetDeadline bounds each pass: on expiry the streams drain
+// cooperatively and the pass fails with an error matching
+// context.DeadlineExceeded, leaking no goroutines.
+//
+// A permanent rank failure does not abort the pass: forward-time, the
+// dead rank's tokens re-route into surviving experts' free capacity
+// (overflow dropped); backward-time, the routing is kept and the dead
+// experts' gradient slots are cleared. The router is frozen for the
+// degraded step and dead experts accumulate zero gradient, so an
+// optimizer step leaves them untouched and ResetHealth resumes from
+// consistent weights. World.LastDegraded reports what was lost
+// (DegradedResult); World.Health tracks per-rank state, and a
+// still-degraded World keeps completing degraded steps until ResetHealth
+// (a closed World fails fast with ErrWorldClosed). StepStack completes
+// multi-layer §5 steps around a degraded layer with every rank's
+// post-step replica still bit-identical.
 package fsmoe

@@ -2,9 +2,11 @@ package fsmoe
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/moe"
 	"repro/internal/runtime"
 	"repro/internal/sim"
@@ -34,6 +36,54 @@ type (
 	// DenseRouter marks custom gates whose plans route densely
 	// (SoftMoE-style); StrategyAuto uses it to pick StrategyDenseSlots.
 	DenseRouter = moe.DenseRouter
+
+	// FaultSpec configures the deterministic seeded fault injector:
+	// per-task-kind / per-stream transient probabilities, straggler delays,
+	// in-collective failures and permanent rank-down events.
+	FaultSpec = fault.Spec
+	// FaultPlan is a compiled injector; install it with World.SetFaultPlan.
+	FaultPlan = fault.Plan
+	// FaultDown configures a permanent rank-down event inside a FaultSpec.
+	FaultDown = fault.Down
+	// RetryPolicy bounds transient-fault retries with exponential backoff
+	// and deterministic jitter.
+	RetryPolicy = runtime.RetryPolicy
+	// DegradedResult reports how a pass survived a permanent rank failure.
+	DegradedResult = moe.DegradedResult
+	// TraceEvent is one fault/retry/straggler/skip incident on a measured
+	// trace (Trace.Events).
+	TraceEvent = sim.Event
+)
+
+// ErrWorldClosed reports use of a World after Close (errors.Is-matchable).
+var ErrWorldClosed = moe.ErrWorldClosed
+
+// NewFaultPlan compiles a FaultSpec into an installable injector. Every
+// decision it makes is a pure function of the seed and the task identity,
+// so a chaos run is reproducible under any stream interleaving.
+func NewFaultPlan(s FaultSpec) *FaultPlan { return fault.New(s) }
+
+// IsTransient and IsPermanent classify (possibly wrapped) injected faults:
+// transient failures fire before any buffer mutation and are retried
+// bit-safely; permanent ones mark a rank dead.
+func IsTransient(err error) bool { return fault.IsTransient(err) }
+func IsPermanent(err error) bool { return fault.IsPermanent(err) }
+
+// Trace event types recorded on measured traces during fault injection.
+const (
+	EventFault     = sim.EventFault
+	EventRetry     = sim.EventRetry
+	EventStraggler = sim.EventStraggler
+	EventSkip      = sim.EventSkip
+)
+
+// Task kinds as they appear on stream plans — the keys a
+// FaultSpec.KindProb targets and a RetryPolicy.Kinds allows.
+const (
+	KindAlltoAll      = moe.KindA2A
+	KindAllGather     = moe.KindAG
+	KindReduceScatter = moe.KindRS
+	KindExperts       = moe.KindExpert
 )
 
 // The three AlltoAll algorithms of §3.1's Dispatch sub-module.
@@ -345,10 +395,35 @@ func (w *World) SetScopedPools(on bool) { w.inner.SetScopedPools(on) }
 // compute stream and the shared communication allotment.
 func (w *World) ResourcePlan() (computeWorkers, commWorkers int) { return w.inner.ResourcePlan() }
 
-// Close releases the scoped pools' worker goroutines. Call it when the
-// world is no longer needed; the world degrades gracefully (inline
-// kernels) if used afterwards.
-func (w *World) Close() { w.inner.Close() }
+// Close releases the scoped pools' worker goroutines and retires the
+// world. A second Close, or a Forward/Backward after Close, fails with
+// ErrWorldClosed.
+func (w *World) Close() error { return w.inner.Close() }
+
+// SetFaultPlan installs (or, with nil, removes) a seeded fault injector;
+// it drives task-level and in-collective injection from the next Forward.
+func (w *World) SetFaultPlan(fp *FaultPlan) { w.inner.SetFaultPlan(fp) }
+
+// SetRetry replaces the default transient-retry policy (4 attempts,
+// exponential backoff with jitter, collective task kinds only).
+func (w *World) SetRetry(rp RetryPolicy) { w.inner.SetRetry(rp) }
+
+// SetDeadline bounds each pass's plan execution: on expiry the streams
+// cancel cooperatively (and drain leak-free) and the pass fails with
+// context.DeadlineExceeded in its joined error. Zero removes the deadline.
+func (w *World) SetDeadline(d time.Duration) { w.inner.SetDeadline(d) }
+
+// Health reports per-rank health (false = permanently failed). ResetHealth
+// restores full strength after a rank-down, modelling the failed worker's
+// replacement; dead experts kept zero gradients while degraded, so their
+// parameters resume unchanged.
+func (w *World) Health() []bool { return w.inner.Health() }
+func (w *World) ResetHealth()   { w.inner.ResetHealth() }
+
+// LastDegraded returns the degraded-mode report of the most recent pass
+// (nil when it ran at full strength): which experts were lost, tokens
+// re-routed or dropped, retries spent, and the recovery-time tail.
+func (w *World) LastDegraded() *DegradedResult { return w.inner.LastDegraded() }
 
 // Stats returns cumulative collective traffic across passes.
 func (w *World) Stats() CommStats { return w.inner.Stats() }

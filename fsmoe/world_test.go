@@ -1,6 +1,7 @@
 package fsmoe
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -233,5 +234,76 @@ func TestWorldESPRequiresShardedExperts(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), string(StrategyESP)) || !strings.Contains(err.Error(), "ShardedExpert") {
 		t.Fatalf("error must name the strategy and the missing contract: %v", err)
+	}
+}
+
+// TestWorldFaultSurface exercises the public fault-tolerance API end to
+// end: a transient chaos pass recovers bit-identically with visible
+// retry events, a permanent rank-down completes degraded with an
+// accurate DegradedResult, ResetHealth restores full strength, and a
+// closed world fails fast with ErrWorldClosed.
+func TestWorldFaultSurface(t *testing.T) {
+	layer := worldTestLayer(t)
+	x := RandTensor(93, 96, 32)
+	dy := RandTensor(94, 96, 32)
+	w, err := NewWorld(layer, WorldConfig{Ranks: 4, PipelineDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := func() *Tensor {
+		t.Helper()
+		layer.ZeroGrad()
+		y, cache, err := w.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Backward(cache, dy); err != nil {
+			t.Fatal(err)
+		}
+		return y
+	}
+	ref := pass()
+
+	// Transient chaos on every collective kind; cap 2 under 4 attempts.
+	w.SetFaultPlan(NewFaultPlan(FaultSpec{
+		Seed: 21,
+		KindProb: map[string]float64{
+			KindAlltoAll: 0.5, KindAllGather: 0.5, KindReduceScatter: 0.5,
+		},
+		CollectiveProb:       0.3,
+		MaxTransientsPerTask: 2,
+	}))
+	y := pass()
+	if y.MaxAbsDiff(ref) != 0 {
+		t.Fatal("chaos pass diverged from fault-free pass")
+	}
+
+	// Permanent rank-down: degraded completion with an accurate report.
+	w.SetFaultPlan(NewFaultPlan(FaultSpec{
+		Seed: 22, Down: &FaultDown{Rank: 1, Kind: KindExperts},
+	}))
+	pass()
+	deg := w.LastDegraded()
+	if deg == nil || deg.Rank != 1 || len(deg.LostExperts) != 2 {
+		t.Fatalf("LastDegraded = %+v, want rank 1 with 2 lost experts", deg)
+	}
+	if h := w.Health(); h[1] {
+		t.Fatal("rank 1 still healthy after permanent failure")
+	}
+
+	// Recovery and close semantics.
+	w.SetFaultPlan(nil)
+	w.ResetHealth()
+	if y2 := pass(); y2.MaxAbsDiff(ref) != 0 {
+		t.Fatal("post-ResetHealth pass diverged from fault-free pass")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrWorldClosed) {
+		t.Fatalf("double Close = %v, want ErrWorldClosed", err)
+	}
+	if _, _, err := w.Forward(x, false); !errors.Is(err, ErrWorldClosed) {
+		t.Fatalf("Forward after Close = %v, want ErrWorldClosed", err)
 	}
 }

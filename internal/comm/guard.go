@@ -1,0 +1,51 @@
+package comm
+
+// Guard is a fault-injection hook invoked by the *Guarded collective entry
+// points immediately before the collective moves its first byte. A non-nil
+// error aborts the call with every buffer untouched, so a transient guard
+// failure may be retried bit-safely — including for the in-place ring
+// AllReduce, which could not survive a mid-flight replay. A nil Guard is
+// always allowed and checks nothing.
+type Guard func() error
+
+// AlltoAllRowsGuarded is AlltoAllRows behind a pre-transfer Guard.
+func AlltoAllRowsGuarded(g Guard, algo A2AAlgo, data, out [][]float64, gpusPerNode int, dims BlockDims, rr RowRange) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return AlltoAllRows(algo, data, out, gpusPerNode, dims, rr)
+}
+
+// AllGatherRowsGuarded is AllGatherRows behind a pre-transfer Guard.
+func AllGatherRowsGuarded(g Guard, data, out [][]float64, gpusPerNode int, dims BlockDims, rr RowRange) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return AllGatherRows(data, out, gpusPerNode, dims, rr)
+}
+
+// ReduceScatterRowsGuarded is ReduceScatterRows behind a pre-transfer Guard.
+func ReduceScatterRowsGuarded(g Guard, data, out [][]float64, gpusPerNode int, dims BlockDims, rr RowRange) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return ReduceScatterRows(data, out, gpusPerNode, dims, rr)
+}
+
+// RingAllReduceChunkGuarded is RingAllReduceChunk behind a pre-transfer
+// Guard. The guard runs before the first in-place accumulation, so a guard
+// failure leaves data exactly as passed.
+func RingAllReduceChunkGuarded(g Guard, data [][]float64, gpusPerNode int, rr RowRange) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return RingAllReduceChunk(data, gpusPerNode, rr)
+}

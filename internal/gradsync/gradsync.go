@@ -126,9 +126,10 @@ type Syncer struct {
 	seen   int // layers collected so far
 	synced bool
 
-	pending []pendingRange
-	emit    [][]pendingRange // slices bucketed per emit point for the current layer
-	rep     Report
+	pending  []pendingRange
+	emit     [][]pendingRange // slices bucketed per emit point for the current layer
+	inflight []pendingRange   // slices handed to a plan by EmitAt but not yet reduced
+	rep      Report
 }
 
 // New validates the layer specs and computes the strategy's byte plan.
@@ -226,12 +227,16 @@ func (s *Syncer) StartLayer(i int) {
 		return
 	}
 	// Slices parked for a previous plan that never emitted them (a builder
-	// announcing more points than it drives) return to the pool rather
+	// announcing more points than it drives), and slices a previous plan
+	// accepted but never reduced (the plan aborted on a fault or deadline
+	// before its inter stream reached them), return to the pool rather
 	// than being lost.
 	for _, bucket := range s.emit {
 		s.pending = append(s.pending, bucket...)
 	}
 	s.emit = nil
+	s.pending = append(s.pending, s.inflight...)
+	s.inflight = nil
 	budget := s.budgetElems(i)
 	var taken []pendingRange
 	total := 0
@@ -304,6 +309,7 @@ func (s *Syncer) EmitAt(p *runtime.Plan, stream string, pt int) {
 	}
 	for _, sl := range s.emit[pt] {
 		sl := sl
+		s.inflight = append(s.inflight, sl)
 		bytes := float64(sl.rr.Len()) * s.cfg.ElemBytes
 		// The estimate lives in the same arbitrary elements/1e6 unit space
 		// as the host plan's other tasks (moe.World's estElems), so the
@@ -331,6 +337,16 @@ func (s *Syncer) reduce(sl pendingRange) error {
 		return err
 	}
 	s.rep.Stats.Merge(st)
+	// Mark the slice reduced so an aborted plan's reclamation re-pends
+	// only the slices its skipped tasks left untouched. Plans drive their
+	// inter stream serially and Finish runs after every plan has been
+	// awaited, so this bookkeeping never races.
+	for i, p := range s.inflight {
+		if p.layer == sl.layer && p.rr == sl.rr {
+			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+			break
+		}
+	}
 	return nil
 }
 
@@ -375,11 +391,15 @@ func (s *Syncer) Finish() (Report, error) {
 	}
 	s.synced = true
 	// Anything still parked for emission was never absorbed by a plan
-	// (e.g. the budget outran the plan's emit points); it joins the tail.
+	// (e.g. the budget outran the plan's emit points), and anything a plan
+	// absorbed but never reduced (an aborted run's skipped tasks), joins
+	// the tail.
 	for _, bucket := range s.emit {
 		s.pending = append(s.pending, bucket...)
 	}
 	s.emit = nil
+	s.pending = append(s.pending, s.inflight...)
+	s.inflight = nil
 	t0 := time.Now()
 	for _, pr := range s.pending {
 		// The tail still moves in ChunkBytes-bounded slices for the fixed-

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/runtime"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -193,5 +194,76 @@ func TestSyncerValidation(t *testing.T) {
 	}
 	if _, err := s.Finish(); err == nil {
 		t.Fatal("double Finish must fail")
+	}
+}
+
+// TestSyncerAbortedPlanReclaimsSlices: a plan that absorbed AllReduce
+// slices via EmitAt and then aborted mid-run (a permanent fault cancels
+// the inter stream, skipping the remaining slice tasks) must not lose
+// them — the skipped slices return to the pending pool and Finish reduces
+// every byte, so the synchronized gradients stay exact.
+func TestSyncerAbortedPlanReclaimsSlices(t *testing.T) {
+	const layers, ranks, n = 2, 4, 800
+	cfg, specs := testSpecs(layers, n, 40)
+	cfg.Strategy = StrategyFSMoE
+	s, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := make([][][]float64, layers)
+	truth := make([][]float64, layers)
+	for i := range grads {
+		grads[i], truth[i] = disjointGrads(uint64(900+i), ranks, n)
+	}
+
+	// Layer 1's backward plan: nothing pending yet, so its emits are empty.
+	s.StartLayer(1)
+	s.BeginLayer(1)
+	p1 := runtime.NewPlan()
+	s.EmitAt(p1, "inter", 0)
+	if err := s.Collect(1, grads[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 0's plan absorbs layer 1's pending slices across three emit
+	// points, but a permanent fault lands between points 0 and 1: the
+	// slices already run stay reduced, the rest are skipped when the plan
+	// cancels — and must be reclaimed rather than lost.
+	s.StartLayer(0)
+	s.BeginLayer(3)
+	p0 := runtime.NewPlan()
+	s.EmitAt(p0, "inter", 0)
+	p0.Add("poison", "Experts", "inter", 1, func() error {
+		return fault.NewPermanent(0, "poison", "injected rank-down")
+	})
+	s.EmitAt(p0, "inter", 1)
+	s.EmitAt(p0, "inter", 2)
+	emitted := s.rep.Slices
+	if emitted == 0 {
+		t.Fatal("layer 0's plan absorbed no slices; the scenario never formed")
+	}
+	if _, err := p0.Execute(); err == nil {
+		t.Fatal("poisoned plan must fail")
+	}
+	if err := s.Collect(0, grads[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TailSlices == 0 {
+		t.Fatal("aborted plan's skipped slices never reached the tail")
+	}
+	for i := range grads {
+		for r := 0; r < ranks; r++ {
+			for k := 0; k < n; k++ {
+				if grads[i][r][k] != truth[i][k] {
+					t.Fatalf("layer %d rank %d elem %d = %v, want %v (slices lost on abort)",
+						i, r, k, grads[i][r][k], truth[i][k])
+				}
+			}
+		}
 	}
 }

@@ -81,9 +81,17 @@ type StepResult struct {
 
 	// Plans and Traces hold each layer's backward stream plan and measured
 	// trace in backward (reverse stack) order; the AllReduce slices appear
-	// as "AllReduce"-kind tasks on the inter stream.
+	// as "AllReduce"-kind tasks on the inter stream. Layers that completed
+	// on the degraded path contribute no plan/trace (their entries are
+	// skipped — see Degraded).
 	Plans  []*runtime.Plan
 	Traces []*sim.Trace
+
+	// Degraded reports every layer pass that survived a permanent rank
+	// failure this step (empty when the step ran at full strength). The
+	// step still completes: RankParams stay bit-identical across ranks,
+	// with the dead experts' parameters frozen (zero gradient).
+	Degraded []*DegradedResult
 
 	Y  *tensor.Tensor // final forward output
 	DX *tensor.Tensor // input gradient
@@ -143,7 +151,9 @@ func StepWorlds(worlds []*World, x, dy *tensor.Tensor, cfg StepConfig) (*StepRes
 			return nil, fmt.Errorf("moe: step forward layer %d: %w", i, err)
 		}
 		caches[i] = cache
-		res.ForwardMS += w.LastTrace().Makespan
+		if tr := w.LastTrace(); tr != nil {
+			res.ForwardMS += tr.Makespan
+		}
 		cur = y
 	}
 	res.Y = cur
@@ -180,9 +190,17 @@ func StepWorlds(worlds []*World, x, dy *tensor.Tensor, cfg StepConfig) (*StepRes
 		if err != nil {
 			return nil, fmt.Errorf("moe: step backward layer %d: %w", i, err)
 		}
-		res.BackwardMS += w.LastTrace().Makespan
-		res.Plans = append(res.Plans, w.LastPlan())
-		res.Traces = append(res.Traces, w.LastTrace())
+		if tr := w.LastTrace(); tr != nil {
+			res.BackwardMS += tr.Makespan
+			res.Plans = append(res.Plans, w.LastPlan())
+			res.Traces = append(res.Traces, tr)
+		}
+		if deg := w.LastDegraded(); deg != nil {
+			// RecoveryMS spans the whole degraded pass (forward fallback
+			// included); charge it to the backward total once.
+			res.BackwardMS += deg.RecoveryMS
+			res.Degraded = append(res.Degraded, deg)
+		}
 		if err := syncer.Collect(i, w.RankGrads()); err != nil {
 			return nil, err
 		}

@@ -116,10 +116,12 @@ func xferLocal(pool *tensor.Pool, wire, block []float64, ranks, eg, mdim, spad, 
 }
 
 // a2aTask wraps one chunk collective, accumulating traffic stats (safe:
-// all A2A tasks share the serialized "inter" stream).
+// all A2A tasks share the serialized "inter" stream). The fault guard is
+// minted at plan-build time so in-collective injection is deterministic.
 func (s *epStrategy) a2aTask(w *World, send, recv [][]float64, dims comm.BlockDims, rr comm.RowRange) func() error {
+	g := w.collGuard("inter", KindA2A)
 	return func() error {
-		st, err := comm.AlltoAllRows(w.cfg.Algo, send, recv, w.cfg.GPUsPerNode, dims, rr)
+		st, err := comm.AlltoAllRowsGuarded(g, w.cfg.Algo, send, recv, w.cfg.GPUsPerNode, dims, rr)
 		if err != nil {
 			return err
 		}

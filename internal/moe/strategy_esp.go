@@ -270,9 +270,10 @@ func (s *espStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache,
 					return nil
 				})
 		}
+		agGuard := w.collGuard(collStream, KindAG)
 		agIDs[c] = p.Add(fmt.Sprintf("AG[%d]", c), KindAG, collStream,
 			estElems((R-1)*R*E*rr.Len()*mdim), func() error {
-				st, err := comm.AllGatherRows(agxData, agxOut, w.cfg.GPUsPerNode, dims, rr)
+				st, err := comm.AllGatherRowsGuarded(agGuard, agxData, agxOut, w.cfg.GPUsPerNode, dims, rr)
 				if err != nil {
 					return err
 				}
@@ -324,9 +325,10 @@ func (s *espStrategy) BuildForward(w *World, p *runtime.Plan, cache *WorldCache,
 					return nil
 				}, o)
 		}
+		rsGuard := w.collGuard(collStream, KindRS)
 		rs := p.Add(fmt.Sprintf("RS[%d]", c), KindRS, collStream,
 			estElems((R-1)*R*E*rr.Len()*mdim), func() error {
-				st, err := comm.ReduceScatterRows(rsData, rsOut, w.cfg.GPUsPerNode, dims, rr)
+				st, err := comm.ReduceScatterRowsGuarded(rsGuard, rsData, rsOut, w.cfg.GPUsPerNode, dims, rr)
 				if err != nil {
 					return err
 				}
@@ -385,9 +387,10 @@ func (s *espStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache
 					return nil
 				})
 		}
+		agGuard := w.collGuard(collStream, KindAG)
 		agIDs[c] = p.Add(fmt.Sprintf("AG[%d]", c), KindAG, collStream,
 			estElems((R-1)*R*E*rr.Len()*mdim), func() error {
-				st, err := comm.AllGatherRows(agdData, agdOut, w.cfg.GPUsPerNode, dims, rr)
+				st, err := comm.AllGatherRowsGuarded(agGuard, agdData, agdOut, w.cfg.GPUsPerNode, dims, rr)
 				if err != nil {
 					return err
 				}
@@ -451,9 +454,10 @@ func (s *espStrategy) BuildBackward(w *World, p *runtime.Plan, cache *WorldCache
 					return nil
 				}, b2Last[g])
 		}
+		rsGuard := w.collGuard(collStream, KindRS)
 		rs := p.Add(fmt.Sprintf("RS[%d]", c), KindRS, collStream,
 			estElems((R-1)*R*E*rr.Len()*mdim), func() error {
-				st, err := comm.ReduceScatterRows(rsData, rsOut, w.cfg.GPUsPerNode, dims, rr)
+				st, err := comm.ReduceScatterRowsGuarded(rsGuard, rsData, rsOut, w.cfg.GPUsPerNode, dims, rr)
 				if err != nil {
 					return err
 				}

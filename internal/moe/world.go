@@ -1,10 +1,15 @@
 package moe
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/comm"
+	"repro/internal/fault"
+	"repro/internal/gradsync"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/tensor"
@@ -51,6 +56,20 @@ type World struct {
 	stats    comm.Stats
 	lastPlan *runtime.Plan
 	lastTr   *sim.Trace
+
+	// Fault tolerance: an optional seeded injector threaded into every
+	// executed plan (and, via collGuard, into the collectives themselves),
+	// the retry policy for transient collective failures, an optional
+	// per-plan deadline, and the world's rank-health state. down is the
+	// permanently failed rank (-1 while all ranks are healthy); once a rank
+	// is down every pass runs on the degraded path until ResetHealth.
+	faults   *fault.Plan
+	retry    runtime.RetryPolicy
+	deadline time.Duration
+	collOps  int // collectives planned so far: deterministic guard op ids
+	down     int
+	degraded *DegradedResult
+	closed   bool
 }
 
 // BackwardSyncer receives inter-stream emit points while a backward plan
@@ -146,7 +165,17 @@ func NewWorld(layer *MOELayer, cfg WorldConfig) (*World, error) {
 	if err := strat.Validate(layer, cfg); err != nil {
 		return nil, err
 	}
-	w := &World{layer: layer, cfg: cfg, egrp: e / cfg.Ranks, strat: strat, scoped: true}
+	w := &World{layer: layer, cfg: cfg, egrp: e / cfg.Ranks, strat: strat, scoped: true, down: -1}
+	// Default retry: transient collective failures get a handful of
+	// backed-off attempts; everything else fails fast. Inert until a fault
+	// plan is installed — real errors are never classified transient.
+	w.retry = runtime.RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Jitter:      0.2,
+		Kinds:       []string{KindA2A, KindAG, KindRS, gradsync.KindAllReduce},
+	}
 	w.planResources()
 	return w, nil
 }
@@ -214,14 +243,23 @@ func (w *World) ResourcePlan() (computeWorkers, commWorkers int) {
 	return w.computeWorkers, w.commWorkers
 }
 
-// Close releases the scoped pools' worker goroutines. The world must be
-// idle; it stays usable afterwards (kernels degrade to inline execution),
-// but Close is meant for when the world is done.
-func (w *World) Close() {
+// ErrWorldClosed reports use of a closed World: a second Close, or a
+// Forward/Backward after Close. Match it with errors.Is.
+var ErrWorldClosed = errors.New("moe: world is closed")
+
+// Close releases the scoped pools' worker goroutines and retires the
+// world: subsequent Forward/Backward/Close calls fail with ErrWorldClosed
+// instead of stepping on released pools. The world must be idle.
+func (w *World) Close() error {
+	if w.closed {
+		return fmt.Errorf("moe: double close: %w", ErrWorldClosed)
+	}
+	w.closed = true
 	for _, p := range w.computePools {
 		p.Close()
 	}
 	w.commPool.Close()
+	return nil
 }
 
 // bindStreams records the resource plan on an executable plan: every live
@@ -264,9 +302,58 @@ func (w *World) Stats() comm.Stats { return w.stats }
 
 // LastPlan and LastTrace return the stream plan and measured trace of the
 // most recent pass — LastPlan.SimulateWith(runtime.Durations(LastTrace()))
-// predicts the pipelined makespan from sequential measurements.
+// predicts the pipelined makespan from sequential measurements. Both are
+// nil after a pass that ran entirely on the degraded sequential path (no
+// stream plan exists for it).
 func (w *World) LastPlan() *runtime.Plan { return w.lastPlan }
 func (w *World) LastTrace() *sim.Trace   { return w.lastTr }
+
+// SetFaultPlan installs (or, with nil, removes) a seeded fault injector.
+// It is threaded into every subsequently executed plan and, through
+// per-collective guards, into the comm collectives themselves. Takes
+// effect from the next Forward.
+func (w *World) SetFaultPlan(fp *fault.Plan) { w.faults = fp }
+
+// SetRetry replaces the default transient-retry policy (4 attempts with
+// exponential backoff, collective kinds only).
+func (w *World) SetRetry(rp runtime.RetryPolicy) { w.retry = rp }
+
+// SetDeadline bounds each subsequent plan execution: a pass whose plan
+// exceeds d is cooperatively canceled and fails with context.DeadlineExceeded
+// inside the joined error. Zero removes the deadline.
+func (w *World) SetDeadline(d time.Duration) { w.deadline = d }
+
+// Health reports per-rank health; false marks the permanently failed rank
+// the world is degraded around.
+func (w *World) Health() []bool {
+	h := make([]bool, w.cfg.Ranks)
+	for i := range h {
+		h[i] = i != w.down
+	}
+	return h
+}
+
+// ResetHealth clears the rank-down state and the last degraded report —
+// the "failed worker replaced" transition back to full-strength stepping.
+func (w *World) ResetHealth() { w.down = -1; w.degraded = nil }
+
+// LastDegraded returns the degraded-mode report of the most recent pass,
+// or nil if the pass ran at full strength.
+func (w *World) LastDegraded() *DegradedResult { return w.degraded }
+
+// collGuard mints the fault-injection guard for the next planned
+// collective on stream. Guards are created at plan-build time with a
+// monotone operation id, so which collectives fail is a deterministic
+// function of the fault seed and the sequence of passes, independent of
+// stream interleaving. Returns nil (check nothing) when injection is off.
+func (w *World) collGuard(stream, kind string) comm.Guard {
+	if w.faults == nil {
+		return nil
+	}
+	id := w.collOps
+	w.collOps++
+	return comm.Guard(w.faults.Guard(stream, kind, id))
+}
 
 // WorldCache carries a forward pass's state to Backward. The strategy
 // that built the forward plan owns sc.
@@ -275,6 +362,7 @@ type WorldCache struct {
 	spad, tpad int
 	combined   *tensor.Tensor // (E, T, M), the sequential layer's expertOut
 	sc         any            // strategy-private forward state
+	deg        *degradedState // non-nil when the forward ran degraded
 }
 
 // Task kinds in the trace breakdown, matching internal/core's Table 2
@@ -294,15 +382,26 @@ func computeStream(r int) string { return fmt.Sprintf("compute:%d", r) }
 
 const collStream = "intra"
 
-// run executes a plan under the current mode, records it, and returns the
-// first task error.
+// run executes a plan under the current mode — threading the fault
+// injector, retry policy and deadline in — records it, and returns the
+// joined task errors.
 func (w *World) run(p *runtime.Plan) error {
+	if w.faults != nil {
+		p.SetFaultPlan(w.faults)
+	}
+	p.SetRetry(w.retry)
+	ctx := context.Background()
+	if w.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.deadline)
+		defer cancel()
+	}
 	var tr *sim.Trace
 	var err error
 	if w.seq {
-		tr, err = p.ExecuteSequential()
+		tr, err = p.ExecuteSequentialCtx(ctx)
 	} else {
-		tr, err = p.Execute()
+		tr, err = p.ExecuteCtx(ctx)
 	}
 	w.lastPlan, w.lastTr = p, tr
 	return err
@@ -310,14 +409,26 @@ func (w *World) run(p *runtime.Plan) error {
 
 // Forward runs the pipelined multi-rank forward pass. Results are
 // bit-identical to MOELayer.Forward on the same layer and input under
-// every strategy.
+// every strategy. A permanent rank failure mid-plan does not abort: the
+// pass completes on the degraded path (see degraded.go) and LastDegraded
+// reports what was lost.
 func (w *World) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *WorldCache, error) {
+	if w.closed {
+		return nil, nil, fmt.Errorf("moe: forward: %w", ErrWorldClosed)
+	}
+	w.degraded = nil
 	pr, err := w.layer.prolog(x, train)
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := w.strat.PlanCheck(pr.plan); err != nil {
 		return nil, nil, err
+	}
+	if w.down >= 0 {
+		// The world is already degraded: skip plan construction entirely
+		// and run the sequential fallback around the dead rank.
+		w.lastPlan, w.lastTr = nil, nil
+		return w.degradedForward(pr, 0, fmt.Sprintf("rank %d still down", w.down))
 	}
 	R, mdim := w.cfg.Ranks, w.layer.cfg.M
 	plan := pr.plan
@@ -335,6 +446,10 @@ func (w *World) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *WorldCac
 	w.strat.BuildForward(w, p, cache, scatPad, combinedPad)
 	w.bindStreams(p)
 	if err := w.run(p); err != nil {
+		if rank, ok := fault.PermanentRank(err); ok {
+			w.down = rank
+			return w.degradedForward(pr, retriesIn(w.lastTr), err.Error())
+		}
 		return nil, nil, err
 	}
 
@@ -347,8 +462,17 @@ func (w *World) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *WorldCac
 // same parameter gradients and returning the same input gradient as
 // MOELayer.Backward.
 func (w *World) Backward(cache *WorldCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if w.closed {
+		return nil, fmt.Errorf("moe: backward: %w", ErrWorldClosed)
+	}
 	if cache == nil || cache.combined == nil {
 		return nil, fmt.Errorf("moe: world backward needs a forward cache")
+	}
+	if cache.deg != nil {
+		// The forward already ran degraded; its cache pairs only with the
+		// degraded backward.
+		w.lastPlan, w.lastTr = nil, nil
+		return w.degradedBackward(cache, dy)
 	}
 	pr := cache.pr
 	plan := pr.plan
@@ -366,12 +490,24 @@ func (w *World) Backward(cache *WorldCache, dy *tensor.Tensor) (*tensor.Tensor, 
 	w.strat.BuildBackward(w, p, cache, dpad, dScatteredPad)
 	w.bindStreams(p)
 	if err := w.run(p); err != nil {
+		if rank, ok := fault.PermanentRank(err); ok {
+			w.down = rank
+			return w.degradedBackwardRecover(cache, dy, retriesIn(w.lastTr), err.Error())
+		}
 		return nil, err
 	}
 	cache.combined = nil // a cache drives at most one backward
 
 	dScattered := unpadBlocks(dScatteredPad, plan.Experts, t, cache.tpad, mdim)
 	return w.layer.backwardFinish(dScattered, planGrad, pr.flat, pr.rc, plan, pr.shape), nil
+}
+
+// retriesIn counts the transient-fault retries an aborted trace spent.
+func retriesIn(tr *sim.Trace) int {
+	if tr == nil {
+		return 0
+	}
+	return tr.EventCount(sim.EventRetry)
 }
 
 // expert returns rank j's el-th local expert (the expert-sharding owner

@@ -24,11 +24,14 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	goruntime "runtime"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -62,6 +65,80 @@ type Binding struct {
 	PinOS   bool // pin the stream's executor goroutine via runtime.LockOSThread
 }
 
+// RetryPolicy bounds the re-execution of tasks that fail with a
+// retry-safe (fault.Transient) error: injected faults fire before the
+// task body runs, and guarded collectives fail before their first byte
+// moves, so a retried task always replays from clean buffers and the
+// final result stays bit-identical to a fault-free run. Errors that are
+// not classified transient — real task failures whose side effects are
+// unknown — are never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per task (1 or less
+	// disables retry).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it, capped at MaxBackoff. Zero values default to 100µs and
+	// 5ms.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter adds a deterministic per-(task, attempt) fraction of the
+	// backoff in [0, Jitter], decorrelating retries without introducing
+	// run-to-run nondeterminism.
+	Jitter float64
+	// Kinds restricts retry to these task kinds (nil means every kind) —
+	// the collective kinds in practice, whose closures are pure transfers.
+	Kinds []string
+	// Seed feeds the deterministic jitter.
+	Seed uint64
+}
+
+func (r RetryPolicy) attempts() int {
+	if r.MaxAttempts < 1 {
+		return 1
+	}
+	return r.MaxAttempts
+}
+
+func (r RetryPolicy) retryable(kind string) bool {
+	if r.Kinds == nil {
+		return true
+	}
+	for _, k := range r.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// backoff returns the exponential, capped, deterministically jittered
+// sleep before retrying attempt (0-based: the attempt that just failed).
+func (r RetryPolicy) backoff(taskID, attempt int) time.Duration {
+	base := r.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Microsecond
+	}
+	maxB := r.MaxBackoff
+	if maxB <= 0 {
+		maxB = 5 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > maxB || d <= 0 {
+		d = maxB
+	}
+	if r.Jitter > 0 {
+		// splitmix64 finalizer over (seed, task, attempt): stable across
+		// runs, uncorrelated across tasks.
+		x := r.Seed ^ (uint64(taskID)+1)*0x9E3779B97F4A7C15 ^ (uint64(attempt)+1)*0xD1B54A32D192ED03
+		x += 0x9E3779B97F4A7C15
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		frac := float64((x^(x>>31))>>11) / (1 << 53)
+		d += time.Duration(float64(d) * r.Jitter * frac)
+	}
+	return d
+}
+
 // Plan is a schedule under construction: a DAG of executable tasks with
 // stream assignments. Enqueue order per stream is the execution order, as
 // on a CUDA stream and exactly as in sim.Graph.
@@ -70,8 +147,20 @@ type Plan struct {
 	streams  map[string][]int
 	order    []string // stream names in first-use order
 	bindings map[string]Binding
+	injector *fault.Plan
+	retry    RetryPolicy
 	executed bool
 }
+
+// SetFaultPlan installs a deterministic fault injector consulted before
+// every task attempt (nil removes it). Injection happens strictly before
+// the task body runs, so transient faults never leave half-mutated
+// buffers behind.
+func (p *Plan) SetFaultPlan(fp *fault.Plan) { p.injector = fp }
+
+// SetRetry installs the retry policy for transient task failures. The
+// zero policy (the default) disables retry.
+func (p *Plan) SetRetry(rp RetryPolicy) { p.retry = rp }
 
 // NewPlan returns an empty schedule.
 func NewPlan() *Plan {
@@ -192,26 +281,204 @@ func (p *Plan) markExecuted() error {
 	return nil
 }
 
-// Execute runs the plan for real: one goroutine per stream, tasks issued
-// in enqueue order, each waiting for its dependencies before running. The
-// returned trace holds measured wall-clock intervals in milliseconds
-// relative to the execution start. The first task error aborts nothing —
-// streams drain fully so no goroutine leaks — but the error is returned
-// and downstream tasks still run (their inputs may be garbage, which the
-// caller must treat as fatal).
+// execState is the cancellation and incident-recording state shared by
+// every stream goroutine of one execution.
+type execState struct {
+	ctx      context.Context
+	t0       time.Time
+	stop     chan struct{} // closed on cooperative cancellation
+	stopOnce sync.Once
+	mu       sync.Mutex
+	events   []sim.Event
+}
+
+// cancel requests cooperative cancellation: streams stop issuing new task
+// bodies (in-flight closures finish naturally) but keep draining their
+// queues and closing done channels, so every waiter unblocks and no
+// goroutine leaks.
+func (e *execState) cancel() { e.stopOnce.Do(func() { close(e.stop) }) }
+
+func (e *execState) canceled() bool {
+	select {
+	case <-e.stop:
+		return true
+	default:
+	}
+	// The watcher goroutine propagates external cancellation into the
+	// stop channel asynchronously; consulting the context here as well
+	// makes cancellation synchronous from the canceller's side — once
+	// ctx.Err() is non-nil, no stream issues another task body no matter
+	// how the watcher is scheduled.
+	if e.ctx != nil && e.ctx.Err() != nil {
+		e.cancel()
+		return true
+	}
+	return false
+}
+
+func (e *execState) record(ev sim.Event) {
+	ev.AtMS = time.Since(e.t0).Seconds() * 1e3
+	e.mu.Lock()
+	e.events = append(e.events, ev)
+	e.mu.Unlock()
+}
+
+// sleep pauses for d unless cancellation arrives first; it reports
+// whether the full pause completed.
+func (e *execState) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !e.canceled()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-e.stop:
+		return false
+	}
+}
+
+// taskEvent pre-fills the identity fields of an incident on task t.
+func taskEvent(typ string, t *task, attempt int, detail string) sim.Event {
+	return sim.Event{Type: typ, TaskID: t.id, Label: t.label, Kind: t.kind, Stream: t.stream, Attempt: attempt, Detail: detail}
+}
+
+// runAttempts drives one task through injection, execution and bounded
+// retry-with-backoff. Each attempt consults the injector BEFORE the task
+// body, so injected transients never see mutated buffers; body errors are
+// retried only when classified fault-transient (guarded collectives fail
+// before their first byte moves, so they qualify). A permanent fault
+// triggers cooperative cancellation of the whole plan.
+func (p *Plan) runAttempts(e *execState, t *task) error {
+	maxAttempts := p.retry.attempts()
+	for attempt := 0; ; attempt++ {
+		var err error
+		if p.injector != nil {
+			d := p.injector.Check(t.stream, t.kind, t.label, t.id, attempt)
+			if d.Delay > 0 {
+				e.record(taskEvent(sim.EventStraggler, t, attempt, d.Delay.String()))
+				if !e.sleep(d.Delay) {
+					return nil // canceled mid-delay; caller drains
+				}
+			}
+			err = d.Err
+		}
+		if err == nil && t.fn != nil {
+			err = t.fn()
+		}
+		if err == nil {
+			return nil
+		}
+		wrapped := fmt.Errorf("runtime: task %q: %w", t.label, err)
+		if fault.IsPermanent(err) {
+			e.record(taskEvent(sim.EventFault, t, attempt, "permanent: "+err.Error()))
+			e.cancel()
+			return wrapped
+		}
+		if !fault.IsTransient(err) {
+			return wrapped // real failure: side effects unknown, never retried
+		}
+		e.record(taskEvent(sim.EventFault, t, attempt, err.Error()))
+		if attempt+1 >= maxAttempts || !p.retry.retryable(t.kind) || e.canceled() {
+			return fmt.Errorf("%w (after %d attempts)", wrapped, attempt+1)
+		}
+		backoff := p.retry.backoff(t.id, attempt)
+		e.record(taskEvent(sim.EventRetry, t, attempt+1, "backoff "+backoff.String()))
+		if !e.sleep(backoff) {
+			return nil // canceled mid-backoff; caller drains
+		}
+	}
+}
+
+// timing is one task's measured outcome.
+type timing struct {
+	start, finish time.Duration
+	err           error
+}
+
+// skipTask marks a task dropped by cooperative cancellation.
+func (p *Plan) skipTask(e *execState, tm *timing, t *task) {
+	now := time.Since(e.t0)
+	tm.start, tm.finish = now, now
+	e.record(taskEvent(sim.EventSkip, t, 0, "canceled"))
+}
+
+// finishTrace assembles the measured trace and the joined error set.
+func (p *Plan) finishTrace(e *execState, timings []timing, withResources bool) (*sim.Trace, error) {
+	var errs []error
+	intervals := make([]sim.Interval, len(p.tasks))
+	for i, t := range p.tasks {
+		if timings[i].err != nil {
+			errs = append(errs, timings[i].err)
+		}
+		intervals[i] = sim.Interval{
+			Task:   sim.NewTask(t.id, t.label, t.kind, t.stream, t.deps),
+			Start:  timings[i].start.Seconds() * 1e3,
+			Finish: timings[i].finish.Seconds() * 1e3,
+		}
+	}
+	if err := e.ctx.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("runtime: execution canceled: %w", err))
+	}
+	tr := sim.NewTrace(intervals, p.order)
+	tr.Events = e.events
+	if withResources {
+		tr.Resources = p.resources()
+	}
+	return tr, errors.Join(errs...)
+}
+
+// Execute runs the plan for real with no deadline; see ExecuteCtx.
 func (p *Plan) Execute() (*sim.Trace, error) {
+	return p.ExecuteCtx(context.Background())
+}
+
+// ExecuteCtx runs the plan for real: one goroutine per stream, tasks
+// issued in enqueue order, each waiting for its dependencies before
+// running. The returned trace holds measured wall-clock intervals in
+// milliseconds relative to the execution start.
+//
+// Failure semantics: an ordinary task error aborts nothing — streams
+// drain fully and downstream tasks still run (their inputs may be
+// garbage, which the caller must treat as fatal). A transient injected
+// fault is retried under the plan's RetryPolicy with exponential backoff.
+// A permanent fault, a ctx cancellation or an expired ctx deadline
+// triggers cooperative cancellation instead: no further task bodies are
+// issued, but every stream still drains its queue and closes every done
+// channel, so the call always returns with zero leaked goroutines. All
+// task errors are collected and returned via errors.Join (plus the ctx
+// error when cancellation came from outside).
+func (p *Plan) ExecuteCtx(ctx context.Context) (*sim.Trace, error) {
 	if err := p.markExecuted(); err != nil {
 		return nil, err
 	}
 	for _, t := range p.tasks {
 		t.done = make(chan struct{})
 	}
-	type timing struct {
-		start, finish time.Duration
-		err           error
-	}
 	timings := make([]timing, len(p.tasks))
-	t0 := time.Now()
+	e := &execState{ctx: ctx, t0: time.Now(), stop: make(chan struct{})}
+
+	// The ctx watcher translates external cancellation into the shared
+	// cooperative stop; fin retires it on normal completion so it never
+	// outlives the call. With a background ctx (nil Done) the watcher is
+	// skipped entirely — the zero-fault fast path spawns exactly the
+	// stream goroutines it always did.
+	var fin chan struct{}
+	var watcher sync.WaitGroup
+	if ctx.Done() != nil {
+		fin = make(chan struct{})
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-ctx.Done():
+				e.cancel()
+			case <-fin:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for _, s := range p.order {
 		queue := p.streams[s]
@@ -232,66 +499,73 @@ func (p *Plan) Execute() (*sim.Trace, error) {
 				t := p.tasks[id]
 				// A dependency was enqueued earlier on this or another
 				// stream; waiting on its done channel realizes the same
-				// start rule as the simulator.
+				// start rule as the simulator. Done channels close even
+				// for skipped tasks, so draining never deadlocks.
 				for _, d := range t.deps {
 					<-p.tasks[d].done
 				}
-				timings[id].start = time.Since(t0)
-				if t.fn != nil {
-					timings[id].err = t.fn()
+				if e.canceled() {
+					p.skipTask(e, &timings[id], t)
+					close(t.done)
+					continue
 				}
-				timings[id].finish = time.Since(t0)
+				timings[id].start = time.Since(e.t0)
+				timings[id].err = p.runAttempts(e, t)
+				timings[id].finish = time.Since(e.t0)
 				close(t.done)
 			}
 		}(queue)
 	}
 	wg.Wait()
-	var firstErr error
-	intervals := make([]sim.Interval, len(p.tasks))
-	for i, t := range p.tasks {
-		if timings[i].err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("runtime: task %q: %w", t.label, timings[i].err)
-		}
-		intervals[i] = sim.Interval{
-			Task:   sim.NewTask(t.id, t.label, t.kind, t.stream, t.deps),
-			Start:  timings[i].start.Seconds() * 1e3,
-			Finish: timings[i].finish.Seconds() * 1e3,
-		}
+	if fin != nil {
+		close(fin)
+		watcher.Wait()
 	}
-	tr := sim.NewTrace(intervals, p.order)
-	tr.Resources = p.resources()
-	return tr, firstErr
+	return p.finishTrace(e, timings, true)
 }
 
-// ExecuteSequential runs every closure one after another in task-id order
-// (ids are topological: deps always precede their dependents) on the
-// calling goroutine, with no cross-stream overlap — the measured baseline
-// a pipelined Execute is compared against. The trace attributes each task
-// to its declared stream so breakdowns stay comparable.
+// ExecuteSequential runs every closure one after another with no
+// deadline; see ExecuteSequentialCtx.
 func (p *Plan) ExecuteSequential() (*sim.Trace, error) {
+	return p.ExecuteSequentialCtx(context.Background())
+}
+
+// ExecuteSequentialCtx runs every closure one after another in task-id
+// order (ids are topological: deps always precede their dependents) on
+// the calling goroutine, with no cross-stream overlap — the measured
+// baseline a pipelined Execute is compared against. The trace attributes
+// each task to its declared stream so breakdowns stay comparable.
+// Injection, retry, cancellation and error collection follow ExecuteCtx
+// exactly (the fault decisions are keyed on task ids, so the same faults
+// fire in both modes); remaining tasks after a permanent fault or ctx
+// cancellation are skipped.
+func (p *Plan) ExecuteSequentialCtx(ctx context.Context) (*sim.Trace, error) {
 	if err := p.markExecuted(); err != nil {
 		return nil, err
 	}
-	var firstErr error
-	intervals := make([]sim.Interval, len(p.tasks))
-	t0 := time.Now()
+	timings := make([]timing, len(p.tasks))
+	e := &execState{ctx: ctx, t0: time.Now(), stop: make(chan struct{})}
+	stop := ctx.Done()
 	for i, t := range p.tasks {
-		start := time.Since(t0)
-		if t.fn != nil {
-			if err := t.fn(); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("runtime: task %q: %w", t.label, err)
+		if !e.canceled() && stop != nil {
+			select {
+			case <-stop:
+				e.cancel()
+			default:
 			}
 		}
-		intervals[i] = sim.Interval{
-			Task:   sim.NewTask(t.id, t.label, t.kind, t.stream, t.deps),
-			Start:  start.Seconds() * 1e3,
-			Finish: time.Since(t0).Seconds() * 1e3,
+		if e.canceled() {
+			p.skipTask(e, &timings[i], t)
+			continue
 		}
+		timings[i].start = time.Since(e.t0)
+		timings[i].err = p.runAttempts(e, t)
+		timings[i].finish = time.Since(e.t0)
 	}
 	// No resource report: a trace documents the binding the execution ran
 	// under, and the sequential baseline runs everything on one unpinned
 	// goroutine regardless of what the plan declared.
-	return sim.NewTrace(intervals, p.order), firstErr
+	return p.finishTrace(e, timings, false)
 }
 
 // Durations extracts per-task durations (ms) from a trace indexed by task

@@ -90,6 +90,30 @@ type StreamResources struct {
 	Pinned  bool
 }
 
+// Event is one fault-injection or recovery incident observed during a
+// measured execution: an injected failure, a retry of the failed task, an
+// injected straggler delay, or a task skipped by cooperative cancellation.
+// Simulated traces carry none; the runtime attaches them to measured
+// traces so a chaos run's timeline and its incidents travel together.
+type Event struct {
+	Type    string // EventFault, EventRetry, EventStraggler, EventSkip
+	TaskID  int
+	Label   string
+	Kind    string
+	Stream  string
+	Attempt int     // 0-based attempt the incident happened on
+	AtMS    float64 // ms since execution start
+	Detail  string
+}
+
+// Event types recorded on measured traces.
+const (
+	EventFault     = "fault"     // an injected failure fired (transient or permanent)
+	EventRetry     = "retry"     // a transient failure is being retried after backoff
+	EventStraggler = "straggler" // an injected delay stalled the task
+	EventSkip      = "skip"      // the task was skipped by cooperative cancellation
+)
+
 // Trace is the result of running a Graph.
 type Trace struct {
 	Intervals []Interval
@@ -97,7 +121,21 @@ type Trace struct {
 	// Resources maps stream names to their planned resource bindings for
 	// measured executions (nil for simulated traces and unbound runs).
 	Resources map[string]StreamResources
-	streams   []string
+	// Events holds the fault/retry incidents of a measured execution in
+	// occurrence order (empty for simulated traces and fault-free runs).
+	Events  []Event
+	streams []string
+}
+
+// EventCount returns how many recorded events have the given type.
+func (tr *Trace) EventCount(typ string) int {
+	n := 0
+	for _, ev := range tr.Events {
+		if ev.Type == typ {
+			n++
+		}
+	}
+	return n
 }
 
 // Run executes the schedule and returns its trace. It panics on dependency
