@@ -76,17 +76,19 @@ func emitCalibrationSweep(cfg realpipeConfig, cal *fsmoe.Calibration) {
 		fmt.Sprintf("%s: calibration sweep, one fwd+bwd pass, ms", cfg.name),
 		"strategy", "r", "sequential", "predicted-pipe", "measured-pipe")
 	for _, p := range cal.Points {
-		tb.AddRow(string(p.Strategy), p.Degree,
+		tb.AddRow(stratCell(p.Strategy, p.GroupSize), p.Degree,
 			fmt.Sprintf("%.1f", p.SeqMS), fmt.Sprintf("%.1f", p.PredMS), fmt.Sprintf("%.1f", p.PipeMS))
 	}
 	emit(tb)
 }
 
 // sweepTimeAt returns the measured pipelined time of a sweep cell, or 0
-// when the degree was outside the grid.
-func sweepTimeAt(cal *fsmoe.Calibration, strat fsmoe.Strategy, degree int) float64 {
+// when the degree was outside the grid. Hybrid cells additionally match
+// on the group size (g is ignored for the other strategies).
+func sweepTimeAt(cal *fsmoe.Calibration, strat fsmoe.Strategy, g, degree int) float64 {
 	for _, p := range cal.Points {
-		if p.Strategy == strat && p.Degree == degree {
+		if p.Strategy == strat && p.Degree == degree &&
+			(strat != fsmoe.StrategyHybrid || p.GroupSize == g) {
 			return p.PipeMS
 		}
 	}
@@ -126,17 +128,18 @@ func emitCalibrationPicks(cfg realpipeConfig, ranks int, layer *fsmoe.Layer, cal
 			return err
 		}
 		cf, cb := wc.PipelineDegrees()
+		calG := wc.GroupSize()
 		wc.Close()
 		bestR, bestT := cal.MeasuredBest(strat)
 		ratio := "n/a (off grid)"
-		if t := sweepTimeAt(cal, strat, cf); t > 0 && bestT > 0 {
+		if t := sweepTimeAt(cal, strat, calG, cf); t > 0 && bestT > 0 {
 			ratio = fmt.Sprintf("%.2f", t/bestT)
 		}
 		judged := "no (gap <5%)"
 		if worst := sweepWorst(cal, strat); bestT > 0 && worst/bestT-1 >= calibrateMatchTolerance {
 			judged = "yes"
 		}
-		tb.AddRow(string(strat),
+		tb.AddRow(stratCell(strat, calG),
 			fmt.Sprintf("%d/%d", tf, tbw), fmt.Sprintf("%d/%d", cf, cb),
 			bestR, ratio, judged)
 	}

@@ -28,9 +28,20 @@ func realpipeConfigs() []realpipeConfig {
 
 // realpipeStrategies are the hard-routing strategies the executable
 // runtime can compare on one workload (DenseSlots routes differently and
-// is exercised by the strategies bench instead).
+// is exercised by the strategies bench instead). The hybrid rows run at
+// GroupSize ranks/2 — the genuinely nested schedule; its degenerate group
+// sizes are the EP and ESP rows themselves.
 func realpipeStrategies() []fsmoe.Strategy {
-	return []fsmoe.Strategy{fsmoe.StrategyEP, fsmoe.StrategyESP}
+	return []fsmoe.Strategy{fsmoe.StrategyEP, fsmoe.StrategyESP, fsmoe.StrategyHybrid}
+}
+
+// stratCell renders a strategy for a report row, with the hybrid group
+// size when there is one.
+func stratCell(s fsmoe.Strategy, g int) string {
+	if s == fsmoe.StrategyHybrid && g > 0 {
+		return fmt.Sprintf("%s(g=%d)", s, g)
+	}
+	return string(s)
 }
 
 // realpipe runs the executable stream runtime for real, per parallel
@@ -63,6 +74,9 @@ func realpipe() error {
 	if err := realpipeDegreeSweep(ranks); err != nil {
 		return err
 	}
+	if err := realpipeHybridGrid(ranks); err != nil {
+		return err
+	}
 	if n := goruntime.GOMAXPROCS(0); n < 2 {
 		note("note: GOMAXPROCS=%d — streams cannot run in parallel on this machine, so measured-pipe "+
 			"cannot realize the overlap; simulated-pipe shows what a multi-core runner achieves.", n)
@@ -79,15 +93,26 @@ func newRealpipeLayer(cfg realpipeConfig) (*fsmoe.Layer, error) {
 }
 
 // newRealpipeWorld builds one world for a workload; degree 0 asks
-// Algorithm 1.
+// Algorithm 1. Hybrid worlds run at GroupSize ranks/2, the interior grid
+// cell the strategy comparison is about.
 func newRealpipeWorld(cfg realpipeConfig, ranks, degree int, strat fsmoe.Strategy) (*fsmoe.Layer, *fsmoe.World, error) {
+	return newRealpipeHybridWorld(cfg, ranks, degree, strat, ranks/2)
+}
+
+// newRealpipeHybridWorld is newRealpipeWorld with an explicit hybrid
+// group size (ignored by the other strategies).
+func newRealpipeHybridWorld(cfg realpipeConfig, ranks, degree int, strat fsmoe.Strategy, g int) (*fsmoe.Layer, *fsmoe.World, error) {
 	layer, err := newRealpipeLayer(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	w, err := fsmoe.NewWorld(layer, fsmoe.WorldConfig{
+	wc := fsmoe.WorldConfig{
 		Ranks: ranks, PipelineDegree: degree, Strategy: strat, BatchTokens: cfg.tokens,
-	})
+	}
+	if strat == fsmoe.StrategyHybrid {
+		wc.GroupSize = g
+	}
+	w, err := fsmoe.NewWorld(layer, wc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,7 +176,7 @@ func runRealpipe(cfg realpipeConfig, ranks int, strat fsmoe.Strategy) ([]any, er
 
 	return []any{
 		fmt.Sprintf("%s M=%d H=%d E=%d N=%d", cfg.name, cfg.m, cfg.h, cfg.e, cfg.tokens),
-		string(strat),
+		stratCell(strat, w.GroupSize()),
 		cfg.degree,
 		fmt.Sprintf("%.1f", seq),
 		fmt.Sprintf("%.1f", sim),
@@ -182,9 +207,10 @@ func realpipeDegreeSweep(ranks int) error {
 				return err
 			}
 			autoF, autoB := auto.PipelineDegrees()
+			label := stratCell(strat, auto.GroupSize())
 			auto.Close()
 
-			row := []any{cfg.name, string(strat), fmt.Sprintf("%d/%d", autoF, autoB)}
+			row := []any{cfg.name, label, fmt.Sprintf("%d/%d", autoF, autoB)}
 			bestR, bestT := 0, 0.0
 			for _, r := range degrees {
 				layer, w, err := newRealpipeWorld(cfg, ranks, r, strat)
@@ -211,5 +237,75 @@ func realpipeDegreeSweep(ranks int) error {
 	}
 	emit(tb)
 	note("algo1-r = Algorithm 1's forward/backward degrees on the strategy-specific volumes (Testbed A models)")
+	return nil
+}
+
+// realpipeHybridGrid executes every workload across the full 2-D hybrid
+// grid — every divisor group size × every pipeline degree — and prints
+// the measured cells next to the 2-D Algorithm-1 pick (the group size and
+// per-phase degrees a hybrid world with everything unset chooses). The
+// g=1 and g=4 rows are the pure EP and ESP schedules, which the hybrid
+// runtime delegates to, so the grid's edges double as the strategy
+// comparison.
+func realpipeHybridGrid(ranks int) error {
+	degrees := []int{1, 2, 4, 8}
+	fmt.Println("== realpipe hybrid grid: measured (group size × degree) cells vs the 2-D Algorithm-1 pick ==")
+	header := []string{"workload", "g"}
+	for _, r := range degrees {
+		header = append(header, fmt.Sprintf("r=%d", r))
+	}
+	header = append(header, "best-r")
+	tb := report.NewTable("one fwd+bwd pass per cell, ms (measured, pipelined)", header...)
+	for _, cfg := range realpipeConfigs() {
+		x := fsmoe.RandTensor(75, cfg.tokens, cfg.m)
+		dy := fsmoe.RandTensor(76, cfg.tokens, cfg.m)
+
+		// The 2-D Algorithm-1 pick: group size and per-phase degrees of a
+		// hybrid world with GroupSize and degrees unset.
+		_, auto, err := newRealpipeHybridWorld(cfg, ranks, 0, fsmoe.StrategyHybrid, 0)
+		if err != nil {
+			return err
+		}
+		pickG, pickF, pickB := auto.GroupSize(), 0, 0
+		pickF, pickB = auto.PipelineDegrees()
+		auto.Close()
+
+		bestG, bestR, bestT := 0, 0, 0.0
+		for g := 1; g <= ranks; g++ {
+			if ranks%g != 0 {
+				continue
+			}
+			row := []any{cfg.name, g}
+			rowBestR, rowBestT := 0, 0.0
+			for _, r := range degrees {
+				layer, w, err := newRealpipeHybridWorld(cfg, ranks, r, fsmoe.StrategyHybrid, g)
+				if err != nil {
+					return err
+				}
+				if _, _, _, err := measurePass(layer, w, x, dy); err != nil { // warmup
+					w.Close()
+					return err
+				}
+				t, _, _, err := measurePass(layer, w, x, dy)
+				w.Close()
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.1f", t))
+				if rowBestR == 0 || t < rowBestT {
+					rowBestR, rowBestT = r, t
+				}
+			}
+			row = append(row, rowBestR)
+			tb.AddRow(row...)
+			if bestG == 0 || rowBestT < bestT {
+				bestG, bestR, bestT = g, rowBestR, rowBestT
+			}
+		}
+		note("%s: Algorithm-1 2-D pick g=%d r=%d/%d; measured best cell (g=%d, r=%d, %.1f ms)",
+			cfg.name, pickG, pickF, pickB, bestG, bestR, bestT)
+	}
+	emit(tb)
+	note("g=1 rows are the pure-EP schedule and g=4 rows the pure-ESP schedule (the hybrid runtime delegates its edges)")
 	return nil
 }

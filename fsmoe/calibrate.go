@@ -43,15 +43,18 @@ type CalibrateConfig struct {
 // CalibrationPoint is one measured sweep cell: a (strategy, degree) pair's
 // sequential baseline, the discrete-event prediction of the pipelined
 // makespan from the measured sequential stage times (Plan.SimulateWith),
-// and the measured pipelined execution. Pred vs Pipe is the §4 fidelity
-// check; Pipe across degrees is the measured optimum the calibrated
-// Algorithm 1 is judged against.
+// and the measured pipelined execution. StrategyHybrid cells additionally
+// carry their EP-group size, so the hybrid sweep is 2-D over
+// (GroupSize, Degree); GroupSize is 0 for every other strategy. Pred vs
+// Pipe is the §4 fidelity check; Pipe across degrees is the measured
+// optimum the calibrated Algorithm 1 is judged against.
 type CalibrationPoint struct {
-	Strategy Strategy
-	Degree   int
-	SeqMS    float64
-	PredMS   float64
-	PipeMS   float64
+	Strategy  Strategy
+	GroupSize int
+	Degree    int
+	SeqMS     float64
+	PredMS    float64
+	PipeMS    float64
 }
 
 // Calibration is a machine profile fitted from measured stage times.
@@ -67,7 +70,8 @@ type Calibration struct {
 
 	models core.Models
 	vols   map[Strategy]core.Volumes
-	gemms  int // GEMMs per expert forward (scales Algorithm 1's α_exp)
+	hvols  map[int]core.Volumes // hybrid volumes per swept group size
+	gemms  int                  // GEMMs per expert forward (scales Algorithm 1's α_exp)
 }
 
 // kindSamples accumulates (volume estimate, measured ms) pairs per kind.
@@ -102,6 +106,7 @@ func Calibrate(l *Layer, cfg CalibrateConfig) (*Calibration, error) {
 		Tokens: cfg.Tokens,
 		Fits:   map[string]Fitted{},
 		vols:   map[Strategy]core.Volumes{},
+		hvols:  map[int]core.Volumes{},
 		gemms:  2,
 	}
 	if l.cfg.Expert == ExpertMixtral {
@@ -111,10 +116,33 @@ func Calibrate(l *Layer, cfg CalibrateConfig) (*Calibration, error) {
 	x := RandTensor(cfg.Seed, cfg.Tokens, l.cfg.M)
 	dy := RandTensor(cfg.Seed+1, cfg.Tokens, l.cfg.M)
 
+	// Expand the strategy list into sweep cells: StrategyHybrid fans out
+	// over the proper divisors of the rank count (its g=1 and g=Ranks
+	// edges are the EP and ESP cells already swept), making the hybrid
+	// part of the sweep 2-D over (group size × degree).
+	type sweepCell struct {
+		strat Strategy
+		g     int
+	}
+	var cells []sweepCell
 	for _, strat := range cfg.Strategies {
+		if strat == StrategyHybrid {
+			for _, g := range divisors(cfg.Ranks) {
+				if g > 1 && g < cfg.Ranks {
+					cells = append(cells, sweepCell{strat, g})
+				}
+			}
+			continue
+		}
+		cells = append(cells, sweepCell{strat, 0})
+	}
+
+	for _, cell := range cells {
+		strat := cell.strat
 		for di, degree := range cfg.Degrees {
 			w, err := NewWorld(l, WorldConfig{
-				Ranks: cfg.Ranks, PipelineDegree: degree, Strategy: strat, BatchTokens: cfg.Tokens,
+				Ranks: cfg.Ranks, PipelineDegree: degree, Strategy: strat,
+				GroupSize: cell.g, BatchTokens: cfg.Tokens,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fsmoe: calibrate %s r=%d: %w", strat, degree, err)
@@ -129,7 +157,7 @@ func Calibrate(l *Layer, cfg CalibrateConfig) (*Calibration, error) {
 			// the fits and the DES prediction of the pipelined makespan.
 			w.SetSequential(true)
 			var pt CalibrationPoint
-			pt.Strategy, pt.Degree = strat, degree
+			pt.Strategy, pt.GroupSize, pt.Degree = strat, cell.g, degree
 			err = calibratePass(l, w, x, dy, func(p *StreamPlan, tr *Trace) {
 				durations := runtime.Durations(tr)
 				pt.SeqMS += tr.Makespan
@@ -147,7 +175,7 @@ func Calibrate(l *Layer, cfg CalibrateConfig) (*Calibration, error) {
 					ks.ys = append(ks.ys, durations[ti.ID])
 				}
 				if di == 0 {
-					cal.accumulateVolumes(strat, p)
+					cal.accumulateVolumes(strat, cell.g, p)
 				}
 			})
 			if err != nil {
@@ -176,8 +204,9 @@ func Calibrate(l *Layer, cfg CalibrateConfig) (*Calibration, error) {
 }
 
 // supportedStrategies lists the strategies a layer can execute: dense
-// routers run DenseSlots only; hard routers run EP, plus ESP when every
-// expert implements the sharded contract.
+// routers run DenseSlots only; hard routers run EP, plus ESP and Hybrid
+// when every expert implements the sharded contract (the hybrid sweep
+// contributes cells only at rank counts with a proper divisor).
 func supportedStrategies(l *Layer) []Strategy {
 	if dr, ok := l.inner.Gate().(moe.DenseRouter); ok && dr.DenseRouting() {
 		return []Strategy{StrategyDenseSlots}
@@ -188,7 +217,7 @@ func supportedStrategies(l *Layer) []Strategy {
 			return out
 		}
 	}
-	return append(out, StrategyESP)
+	return append(out, StrategyESP, StrategyHybrid)
 }
 
 // calibratePass runs one forward+backward pair and hands each phase's plan
@@ -212,13 +241,14 @@ func calibratePass(l *Layer, w *World, x, dy *Tensor, observe func(*StreamPlan, 
 }
 
 // accumulateVolumes folds one plan's per-kind volume estimates into the
-// strategy's Algorithm-1 volume set, in the same estimate units the fits
-// use. Conventions mirror the closed forms of §4.2: NA2A is the volume of
+// sweep cell's Algorithm-1 volume set — keyed by strategy, or by group
+// size for hybrid cells — in the same estimate units the fits use.
+// Conventions mirror the closed forms of §4.2: NA2A is the volume of
 // ONE AlltoAll direction (each pass runs two), expert volume is per rank
 // (the model's t_exp is a per-rank pipeline stage; the estimate sum counts
 // every rank), and each phase contributes half of the AG/RS totals (one
 // volume set serves both phases' searches, as with the testbed path).
-func (c *Calibration) accumulateVolumes(strat Strategy, p *StreamPlan) {
+func (c *Calibration) accumulateVolumes(strat Strategy, g int, p *StreamPlan) {
 	var a2a, ag, rs, exp float64
 	for _, ti := range p.Tasks() {
 		switch ti.Kind {
@@ -233,6 +263,9 @@ func (c *Calibration) accumulateVolumes(strat Strategy, p *StreamPlan) {
 		}
 	}
 	v := c.vols[strat]
+	if strat == StrategyHybrid {
+		v = c.hvols[g]
+	}
 	v.NA2A += a2a / 4 // two directions per pass × two phases
 	v.NAG += ag / 2
 	v.NRS += rs / 2
@@ -249,6 +282,10 @@ func (c *Calibration) accumulateVolumes(strat Strategy, p *StreamPlan) {
 	// Nominal floors for the dense part, matching layerVolumes: the World
 	// pipeline does not execute the surrounding dense block.
 	v.DenseFwd, v.DenseBwd = 0.1, 0.2
+	if strat == StrategyHybrid {
+		c.hvols[g] = v
+		return
+	}
 	c.vols[strat] = v
 }
 
@@ -363,6 +400,35 @@ func (c *Calibration) volumes(s Strategy) (core.Volumes, bool) {
 	return v, ok
 }
 
+// hybridVolumes returns the measured volume set for one hybrid grid cell.
+// The degenerate group sizes resolve to the pure strategies' measured
+// volumes — the runtime delegates those cells, so their measurements ARE
+// the EP/ESP sweeps.
+func (c *Calibration) hybridVolumes(g int) (core.Volumes, bool) {
+	switch g {
+	case 1:
+		return c.volumes(StrategyEP)
+	case c.Ranks:
+		return c.volumes(StrategyESP)
+	}
+	v, ok := c.hvols[g]
+	return v, ok
+}
+
+// HybridGroupSizes lists the hybrid group sizes the sweep measured, in
+// sweep order.
+func (c *Calibration) HybridGroupSizes() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range c.Points {
+		if p.Strategy == StrategyHybrid && !seen[p.GroupSize] {
+			seen[p.GroupSize] = true
+			out = append(out, p.GroupSize)
+		}
+	}
+	return out
+}
+
 // Strategies lists the strategies the sweep covered.
 func (c *Calibration) Strategies() []Strategy {
 	seen := map[Strategy]bool{}
@@ -400,12 +466,44 @@ func (c *Calibration) MeasuredBest(strat Strategy) (degree int, ms float64) {
 // overlap they assume (that is contention, not per-task cost), but the
 // sweep measured it, so the measurement outranks the model.
 func (c *Calibration) PickDegree(strat Strategy, modelR int) int {
-	bestR, bestT := c.MeasuredBest(strat)
+	g := 0
+	if strat == StrategyHybrid {
+		// Without a group size, defer to the best hybrid cell overall.
+		if bg, _, _ := c.MeasuredBestHybrid(); bg != 0 {
+			g = bg
+		}
+	}
+	return c.degreePick(strat, g, modelR)
+}
+
+// degreePick is PickDegree scoped to one sweep cell: hybrid picks match
+// on the group size (its degenerate sizes resolving to the pure
+// strategies' cells), so a g=2 world never defers to a g=4 measurement.
+func (c *Calibration) degreePick(strat Strategy, g, modelR int) int {
+	if strat != StrategyHybrid {
+		g = 0
+	} else {
+		switch g {
+		case 1:
+			strat, g = StrategyEP, 0
+		case c.Ranks:
+			strat, g = StrategyESP, 0
+		}
+	}
+	bestR, bestT := 0, 0.0
+	for _, p := range c.Points {
+		if p.Strategy != strat || p.GroupSize != g {
+			continue
+		}
+		if bestR == 0 || p.PipeMS < bestT {
+			bestR, bestT = p.Degree, p.PipeMS
+		}
+	}
 	if bestR == 0 || bestT <= 0 {
-		return modelR // strategy never swept: nothing measured to defer to
+		return modelR // cell never swept: nothing measured to defer to
 	}
 	for _, p := range c.Points {
-		if p.Strategy == strat && p.Degree == modelR {
+		if p.Strategy == strat && p.GroupSize == g && p.Degree == modelR {
 			if p.PipeMS <= bestT*1.05 {
 				return modelR
 			}
@@ -413,6 +511,21 @@ func (c *Calibration) PickDegree(strat Strategy, modelR int) int {
 		}
 	}
 	return bestR
+}
+
+// MeasuredBestHybrid returns the hybrid sweep cell (group size, degree)
+// with the lowest measured pipelined forward+backward time (zeros when
+// hybrid was never swept).
+func (c *Calibration) MeasuredBestHybrid() (groupSize, degree int, ms float64) {
+	for _, p := range c.Points {
+		if p.Strategy != StrategyHybrid {
+			continue
+		}
+		if degree == 0 || p.PipeMS < ms {
+			groupSize, degree, ms = p.GroupSize, p.Degree, p.PipeMS
+		}
+	}
+	return groupSize, degree, ms
 }
 
 // MeasuredBestStrategy returns the strategy with the lowest measured

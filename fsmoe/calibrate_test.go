@@ -24,15 +24,34 @@ func TestCalibrateSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	strats := cal.Strategies()
-	if len(strats) != 2 { // GPTFFN supports both EP and ESP
-		t.Fatalf("swept strategies %v, want EP and ESP", strats)
+	if len(strats) != 3 { // GPTFFN supports EP, ESP, and the hybrid grid
+		t.Fatalf("swept strategies %v, want EP, ESP and Hybrid", strats)
 	}
-	if len(cal.Points) != 4 {
-		t.Fatalf("%d sweep points, want 4", len(cal.Points))
+	// 2 degrees × (EP + ESP + hybrid g=2, the one proper divisor of 4).
+	if len(cal.Points) != 6 {
+		t.Fatalf("%d sweep points, want 6", len(cal.Points))
 	}
 	for _, p := range cal.Points {
 		if p.SeqMS <= 0 || p.PredMS <= 0 || p.PipeMS <= 0 {
 			t.Fatalf("degenerate point %+v", p)
+		}
+		if (p.Strategy == StrategyHybrid) != (p.GroupSize != 0) {
+			t.Fatalf("point %+v: GroupSize must be set exactly for hybrid cells", p)
+		}
+	}
+	if gs := cal.HybridGroupSizes(); len(gs) != 1 || gs[0] != 2 {
+		t.Fatalf("hybrid group sizes %v, want [2]", gs)
+	}
+	if g, d, ms := cal.MeasuredBestHybrid(); g != 2 || d < 1 || d > 2 || ms <= 0 {
+		t.Fatalf("MeasuredBestHybrid = (%d, %d, %v)", g, d, ms)
+	}
+	for _, g := range []int{1, 2, 4} { // g=1 and g=4 resolve to the EP/ESP sweeps
+		v, ok := cal.hybridVolumes(g)
+		if !ok {
+			t.Fatalf("no measured hybrid volumes for g=%d", g)
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("measured hybrid volumes for g=%d invalid: %v", g, err)
 		}
 	}
 	for _, kind := range []string{"AlltoAll", "AllGather", "ReduceScatter", "Experts", KindAllReduce} {
@@ -45,6 +64,9 @@ func TestCalibrateSweep(t *testing.T) {
 		}
 	}
 	for _, s := range strats {
+		if s == StrategyHybrid {
+			continue // hybrid volumes are keyed per group size, checked above
+		}
 		v, ok := cal.volumes(s)
 		if !ok {
 			t.Fatalf("no measured volumes for %s", s)

@@ -36,9 +36,32 @@
 //     stream (so §5 Gradient-AllReduce slices overlap freely);
 //   - StrategyDenseSlots — SoftMoE dense plans chunked over expert slots
 //     instead of token rows, through the EP pipeline;
+//   - StrategyHybrid — nested EP×ESP: the R ranks split into R/g
+//     expert-parallel groups of WorldConfig.GroupSize g ESP shard members
+//     each (g must divide R), combining both collective families in one
+//     schedule;
 //   - StrategyAuto (the zero value) — dense gates get DenseSlots, and
-//     hard-routing layers choose between EP and ESP by comparing
-//     Algorithm 1's predicted block times on strategy-specific volumes.
+//     hard-routing layers run Algorithm 1 as a 2-D grid over (group size
+//     × pipeline degree) on per-g volume models, selecting EP (g=1),
+//     ESP (g=R) or an interior hybrid cell.
+//
+// The hybrid schedule, for R=4 ranks and GroupSize g=2 (two EP groups
+// of two shard members), per pipeline chunk:
+//
+//	rank 0 ┐ group 0: AG ×2 + RS on stream intra:g0 ┐
+//	rank 1 ┘   (each expert sharded across the group) ├─ dispatch/combine
+//	rank 2 ┐ group 1: AG ×2 + RS on stream intra:g1 │  AlltoAll between
+//	rank 3 ┘   (experts E·g/R per group)             ┘  groups on "inter"
+//
+// Each group's intra-collectives run on their own intra:g<G> stream
+// concurrently with the other groups' and with the inter-group AlltoAll
+// lanes, so both §4 overlap dimensions appear in one plan. The edges
+// degenerate exactly: GroupSize 1 delegates to pure EP and GroupSize R
+// to pure ESP — the plans are task-for-task those of the pure
+// strategies — and every interior cell is bit-identical to the
+// single-rank layer. Leaving GroupSize zero under StrategyHybrid (or
+// StrategyAuto) lets the grid pick g; Calibration sweeps the hybrid
+// cells too, so calibrated worlds pick (g, r) from measured costs.
 //
 // Every strategy is bit-identical to the single-rank Layer path at every
 // (R, r); they differ only in which collectives move the data and where

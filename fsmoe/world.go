@@ -98,10 +98,11 @@ const (
 const (
 	// StrategyAuto (the zero value) picks a strategy from the layer:
 	// dense-routing gates get StrategyDenseSlots, and hard-routing layers
-	// choose between StrategyEP and StrategyESP by comparing Algorithm 1's
-	// predicted MoE-block times on the testbed's performance models with
-	// each strategy's collective volumes (ESP requires every expert to
-	// implement ShardedExpert; otherwise EP is chosen).
+	// with sharded experts run the 2-D Algorithm-1 grid over
+	// (group size × pipeline degree) on the testbed's performance models —
+	// the grid's g=1 edge is pure EP, its g=Ranks edge pure ESP, and an
+	// interior winner selects StrategyHybrid with that GroupSize. Layers
+	// with non-sharded experts always get StrategyEP.
 	StrategyAuto Strategy = ""
 	// StrategyEP is pure expert parallelism: experts sharded across ranks,
 	// tokens moved by r-chunked dispatch/combine AlltoAll.
@@ -110,6 +111,15 @@ const (
 	// shard of every expert, with chunked AllGather/ReduceScatter stages
 	// on the shared intra stream.
 	StrategyESP = moe.StrategyESP
+	// StrategyHybrid nests the two: the world splits into Ranks/GroupSize
+	// EP groups of GroupSize ESP shard members each. Dispatch/combine
+	// AlltoAll runs between groups on the inter stream while each group's
+	// AllGather/ReduceScatter stages run on a per-group intra stream, so
+	// the group size trades inter-node AlltoAll volume against in-group
+	// collective volume. GroupSize=1 degenerates to EP, GroupSize=Ranks
+	// to ESP (the runtime delegates, so the edges are the pure strategies
+	// exactly). Requires every expert to implement ShardedExpert.
+	StrategyHybrid = moe.StrategyHybrid
 	// StrategyDenseSlots runs dense (SoftMoE) plans through the EP
 	// pipeline chunked over expert slots instead of token rows.
 	StrategyDenseSlots = moe.StrategyDenseSlots
@@ -131,6 +141,13 @@ type WorldConfig struct {
 	Algo              A2AKind  // AlltoAll algorithm for EP/DenseSlots (default Direct)
 	GPUsPerNode       int      // node shape for 1DH/2DH and ring Stats (default Ranks)
 	Strategy          Strategy // parallel scheme (default StrategyAuto)
+
+	// GroupSize is the EP-group size for StrategyHybrid: it must divide
+	// Ranks, with 1 ≡ pure EP and Ranks ≡ pure ESP. Zero with an explicit
+	// StrategyHybrid means automatic: the 2-D Algorithm-1 grid picks the
+	// group size over the divisors of Ranks along with the pipeline
+	// degrees. Ignored by the other strategies.
+	GroupSize int
 
 	// Inputs to StrategyAuto and the automatic pipeline degrees.
 	Cluster     *Cluster // testbed whose models drive Algorithm 1 (default TestbedA)
@@ -176,27 +193,48 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 	// matching measured volumes (both in the plan's own estimate units, so
 	// they stay consistent with each other).
 	volsFor := func(s Strategy) (core.Volumes, bool) { return layerVolumes(l, tokens, s), true }
+	hybridFor := func(g int) (core.Volumes, bool) { return hybridLayerVolumes(l, tokens, cfg.Ranks, g), true }
 	if cfg.Calibration != nil {
 		m = cfg.Calibration.models
 		volsFor = cfg.Calibration.volumes
+		hybridFor = cfg.Calibration.hybridVolumes
 	}
 
 	strat := cfg.Strategy
+	groupSize := cfg.GroupSize
 	var autoDegF, autoDegB core.DegreeResult
 	haveDegrees := false
 	if strat == StrategyAuto {
-		strat, autoDegF, autoDegB, haveDegrees = chooseStrategy(l, m, volsFor)
+		strat, groupSize, autoDegF, autoDegB, haveDegrees = chooseStrategy(l, m, volsFor, hybridFor, cfg.Ranks)
 		w.autoStrat = true
+	} else if strat == StrategyHybrid && groupSize == 0 {
+		// Explicit hybrid with an unset group size: the 2-D grid picks g
+		// (and the per-phase degrees) over every divisor of the rank
+		// count — including the degenerate edges, which the runtime
+		// delegates to the pure strategies.
+		groupSize, autoDegF, autoDegB, haveDegrees = hybridGroupPick(m, volsFor, hybridFor, cfg.Ranks)
+		if !haveDegrees {
+			groupSize = 1
+		}
+	}
+	// The volume set of the configuration actually executing, hybrid
+	// group size included.
+	stratVols := func() (core.Volumes, bool) {
+		if strat == StrategyHybrid {
+			return gridVolumes(volsFor, hybridFor, cfg.Ranks, groupSize)
+		}
+		return volsFor(strat)
 	}
 
 	degF, degB := cfg.PipelineDegree, cfg.PipelineDegreeBwd
 	if degF == 0 {
 		w.auto = true
 		if haveDegrees {
-			// The strategy comparison already ran Algorithm 1 on the
-			// winner's volumes; reuse its per-phase results.
+			// The strategy (or group-size) comparison already ran
+			// Algorithm 1 on the winner's volumes; reuse its per-phase
+			// results.
 			w.degF, w.degB = autoDegF, autoDegB
-		} else if v, ok := volsFor(strat); ok {
+		} else if v, ok := stratVols(); ok {
 			w.degF = m.FindOptimalPipelineDegree(v, 0, core.Forward, 16)
 			w.degB = m.FindOptimalPipelineDegree(v, 0, core.Backward, 16)
 		} else {
@@ -205,6 +243,9 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 			// spaces.
 			tm := core.ModelsFromCluster(cluster)
 			v := layerVolumes(l, tokens, strat)
+			if strat == StrategyHybrid {
+				v = hybridLayerVolumes(l, tokens, cfg.Ranks, groupSize)
+			}
 			w.degF = tm.FindOptimalPipelineDegree(v, 0, core.Forward, 16)
 			w.degB = tm.FindOptimalPipelineDegree(v, 0, core.Backward, 16)
 		}
@@ -212,8 +253,8 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 			// The calibrated closed form proposes; the measured sweep
 			// disposes (see Calibration.PickDegree). R is what executes;
 			// TMoE/Case keep the model's view of its own proposal.
-			w.degF.R = cfg.Calibration.PickDegree(strat, w.degF.R)
-			w.degB.R = cfg.Calibration.PickDegree(strat, w.degB.R)
+			w.degF.R = cfg.Calibration.degreePick(strat, groupSize, w.degF.R)
+			w.degB.R = cfg.Calibration.degreePick(strat, groupSize, w.degB.R)
 		}
 		degF = w.degF.R
 		// An explicit backward degree overrides Algorithm 1's choice even
@@ -231,6 +272,7 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 		Algo:        cfg.Algo,
 		GPUsPerNode: cfg.GPUsPerNode,
 		Strategy:    strat,
+		GroupSize:   groupSize,
 	})
 	if err != nil {
 		return nil, err
@@ -240,34 +282,82 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 }
 
 // chooseStrategy is StrategyAuto: dense routers shard over slots; hard
-// routers pick the cheaper of EP and ESP under Algorithm 1 (§4.4) on the
-// strategy-specific collective volumes, with ESP eligible only when every
-// expert implements the sharded contract. volsFor supplies the volume set
-// per strategy — testbed-modelled or calibration-measured; a strategy
-// whose volumes are unavailable (a calibration that never swept it) is
-// not eligible. When the comparison ran, the winner's per-phase degree
-// results are returned for reuse (haveDegrees true), saving the caller an
-// identical pair of searches.
-func chooseStrategy(l *Layer, m core.Models, volsFor func(Strategy) (core.Volumes, bool)) (strat Strategy, degF, degB core.DegreeResult, haveDegrees bool) {
+// routers with non-sharded experts get EP; fully-sharded layers run the
+// 2-D Algorithm-1 grid over (group size × degree), whose g=1 and g=Ranks
+// edges carry the pure EP and ESP volume sets — so the old EP-vs-ESP
+// comparison is this grid restricted to its edges, and an interior winner
+// selects StrategyHybrid with its group size. volsFor/hybridFor supply the
+// volume sets — testbed-modelled or calibration-measured; a cell whose
+// volumes are unavailable (a calibration that never swept it) is not
+// eligible. When the grid ran, the winner's per-phase degree results are
+// returned for reuse (haveDegrees true), saving the caller an identical
+// pair of searches.
+func chooseStrategy(l *Layer, m core.Models, volsFor func(Strategy) (core.Volumes, bool), hybridFor func(int) (core.Volumes, bool), ranks int) (strat Strategy, groupSize int, degF, degB core.DegreeResult, haveDegrees bool) {
 	if dr, ok := l.inner.Gate().(moe.DenseRouter); ok && dr.DenseRouting() {
-		return StrategyDenseSlots, degF, degB, false
+		return StrategyDenseSlots, 0, degF, degB, false
 	}
 	for _, ex := range l.inner.Experts() {
 		if _, ok := ex.(moe.ShardedExpert); !ok {
-			return StrategyEP, degF, degB, false
+			return StrategyEP, 0, degF, degB, false
 		}
 	}
-	vESP, okESP := volsFor(StrategyESP)
-	vEP, okEP := volsFor(StrategyEP)
-	if !okESP || !okEP {
-		return StrategyEP, degF, degB, false
+	g, f, b, ok := hybridGroupPick(m, volsFor, hybridFor, ranks)
+	if !ok {
+		return StrategyEP, 0, degF, degB, false
 	}
-	espF, espB := phaseDegrees(m, vESP)
-	epF, epB := phaseDegrees(m, vEP)
-	if espF.TMoE+espB.TMoE < epF.TMoE+epB.TMoE {
-		return StrategyESP, espF, espB, true
+	switch g {
+	case 1:
+		return StrategyEP, 0, f, b, true
+	case ranks:
+		return StrategyESP, 0, f, b, true
 	}
-	return StrategyEP, epF, epB, true
+	return StrategyHybrid, g, f, b, true
+}
+
+// hybridGroupPick scans the (group size × degree) grid: for each divisor
+// g of the rank count it runs Algorithm 1 per phase on that cell's
+// volumes, and picks the g minimizing the summed forward+backward
+// predicted time — one g must serve both phases, while the degrees stay
+// per-phase (§4.4). Cells without volumes are skipped; ok is false when
+// none had any.
+func hybridGroupPick(m core.Models, volsFor func(Strategy) (core.Volumes, bool), hybridFor func(int) (core.Volumes, bool), ranks int) (groupSize int, degF, degB core.DegreeResult, ok bool) {
+	for _, g := range divisors(ranks) {
+		v, have := gridVolumes(volsFor, hybridFor, ranks, g)
+		if !have {
+			continue
+		}
+		f, b := phaseDegrees(m, v)
+		if !ok || f.TMoE+b.TMoE < degF.TMoE+degB.TMoE {
+			groupSize, degF, degB, ok = g, f, b, true
+		}
+	}
+	return groupSize, degF, degB, ok
+}
+
+// gridVolumes maps a grid cell to its volume set: the degenerate edges
+// reuse the pure strategies' volumes, so the grid coincides with the 1-D
+// strategy comparison there — exactly as the runtime delegates those
+// group sizes to the pure strategies.
+func gridVolumes(volsFor func(Strategy) (core.Volumes, bool), hybridFor func(int) (core.Volumes, bool), ranks, g int) (core.Volumes, bool) {
+	switch g {
+	case 1:
+		return volsFor(StrategyEP)
+	case ranks:
+		return volsFor(StrategyESP)
+	}
+	return hybridFor(g)
+}
+
+// divisors returns the divisors of n in ascending order — the candidate
+// hybrid group sizes of an n-rank world.
+func divisors(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // phaseDegrees runs Algorithm 1 for both phases on one volume set.
@@ -346,6 +436,34 @@ func layerVolumes(l *Layer, tokens int, strat Strategy) Volumes {
 	return v
 }
 
+// hybridLayerVolumes derives the volumes of one hybrid grid cell. The
+// degenerate group sizes return the pure strategies' volume sets exactly
+// (the runtime delegates those cells, so the grid's edges must coincide
+// with the 1-D comparisons). Interior cells interpolate: with lanes of
+// R/g ranks, the fraction of dispatched rows crossing lanes is 1-g/R,
+// normalized by EP's 1-1/R so g=1 recovers EP's convention; the in-group
+// AllGather/ReduceScatter traffic carries the ring factor (g-1)/g,
+// normalized by ESP's (R-1)/R so g=R recovers ESP's. Larger groups thus
+// trade AlltoAll volume for in-group collective volume — the axis the
+// 2-D grid optimizes.
+func hybridLayerVolumes(l *Layer, tokens, ranks, g int) Volumes {
+	if g <= 1 || ranks <= 1 {
+		return layerVolumes(l, tokens, StrategyEP)
+	}
+	if g >= ranks {
+		return layerVolumes(l, tokens, StrategyESP)
+	}
+	ep := layerVolumes(l, tokens, StrategyEP)
+	esp := layerVolumes(l, tokens, StrategyESP)
+	rf, gf := float64(ranks), float64(g)
+	ring := ((gf - 1) / gf) / ((rf - 1) / rf)
+	v := ep
+	v.NA2A = ep.NA2A * (rf - gf) / (rf - 1)
+	v.NAG = esp.NAG * ring
+	v.NRS = esp.NRS * ring
+	return v
+}
+
 // Forward runs the pipelined multi-rank forward pass on x, shaped
 // (B, L, M) or (N, M).
 func (w *World) Forward(x *Tensor, train bool) (*Tensor, *WorldCache, error) {
@@ -367,6 +485,10 @@ func (w *World) Chunked() bool { return w.inner.Chunked() }
 // whether it was chosen automatically.
 func (w *World) Strategy() Strategy { return w.inner.Strategy() }
 func (w *World) AutoStrategy() bool { return w.autoStrat }
+
+// GroupSize returns the hybrid EP-group size in effect (0 unless the
+// strategy is StrategyHybrid), whether configured or grid-chosen.
+func (w *World) GroupSize() int { return w.inner.GroupSize() }
 
 // PipelineDegrees returns the forward and backward chunk counts in effect.
 func (w *World) PipelineDegrees() (fwd, bwd int) { return w.inner.Degrees() }

@@ -129,7 +129,7 @@ func TestWorldExplicitBwdDegree(t *testing.T) {
 func TestWorldStrategySurface(t *testing.T) {
 	x := RandTensor(95, 96, 32)
 	dy := RandTensor(96, 96, 32)
-	for _, strat := range []Strategy{StrategyEP, StrategyESP} {
+	for _, strat := range []Strategy{StrategyEP, StrategyESP, StrategyHybrid} {
 		layer := worldTestLayer(t)
 		layer.ZeroGrad()
 		wantY, cache, err := layer.Forward(x, false)
@@ -140,12 +140,19 @@ func TestWorldStrategySurface(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w, err := NewWorld(layer, WorldConfig{Ranks: 4, PipelineDegree: 2, Strategy: strat})
+		cfg := WorldConfig{Ranks: 4, PipelineDegree: 2, Strategy: strat}
+		if strat == StrategyHybrid {
+			cfg.GroupSize = 2
+		}
+		w, err := NewWorld(layer, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if w.Strategy() != strat || w.AutoStrategy() {
 			t.Fatalf("strategy = %q auto=%v, want explicit %q", w.Strategy(), w.AutoStrategy(), strat)
+		}
+		if strat == StrategyHybrid && w.GroupSize() != 2 {
+			t.Fatalf("GroupSize() = %d, want the configured 2", w.GroupSize())
 		}
 		layer.ZeroGrad()
 		gotY, wc, err := w.Forward(x, false)
@@ -210,7 +217,16 @@ func TestWorldAutoStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s := hw.Strategy(); s != StrategyEP && s != StrategyESP {
+	switch s := hw.Strategy(); s {
+	case StrategyEP, StrategyESP:
+		if hw.GroupSize() != 0 {
+			t.Fatalf("pure strategy %q carries GroupSize %d", s, hw.GroupSize())
+		}
+	case StrategyHybrid:
+		if g := hw.GroupSize(); g <= 1 || g >= 4 || 4%g != 0 {
+			t.Fatalf("auto hybrid picked an edge or non-divisor group size %d", g)
+		}
+	default:
 		t.Fatalf("auto strategy for hard routing = %q", s)
 	}
 	if !hw.AutoDegree() {
@@ -305,5 +321,81 @@ func TestWorldFaultSurface(t *testing.T) {
 	}
 	if _, _, err := w.Forward(x, false); !errors.Is(err, ErrWorldClosed) {
 		t.Fatalf("Forward after Close = %v, want ErrWorldClosed", err)
+	}
+}
+
+// TestWorldHybridSurface pins the public hybrid plumbing: an explicit
+// hybrid world with an unset group size lets the 2-D grid pick a divisor
+// of the rank count, misconfiguration errors name the strategy and field,
+// and a calibrated hybrid world draws its degrees from the measured
+// hybrid cells while staying bit-identical to the testbed-driven world.
+func TestWorldHybridSurface(t *testing.T) {
+	layer := worldTestLayer(t)
+
+	// Unset GroupSize with explicit hybrid: grid-picked divisor.
+	w, err := NewWorld(layer, WorldConfig{Ranks: 4, Strategy: StrategyHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.GroupSize()
+	if g < 1 || 4%g != 0 {
+		t.Fatalf("grid-picked GroupSize %d is not a divisor of 4", g)
+	}
+	if w.AutoStrategy() {
+		t.Fatal("explicit hybrid must not report AutoStrategy")
+	}
+	if !w.AutoDegree() {
+		t.Fatal("unset degrees under hybrid must come from Algorithm 1")
+	}
+	w.Close()
+
+	// Misconfiguration fails at NewWorld, naming strategy and field.
+	if _, err := NewWorld(layer, WorldConfig{Ranks: 4, Strategy: StrategyHybrid, GroupSize: 3}); err == nil ||
+		!strings.Contains(err.Error(), string(StrategyHybrid)) || !strings.Contains(err.Error(), "GroupSize") {
+		t.Fatalf("GroupSize=3 over 4 ranks: %v", err)
+	}
+
+	// Calibrated hybrid: degrees picked from the measured hybrid cells,
+	// output bit-identical to the uncalibrated world.
+	cal, err := Calibrate(layer, CalibrateConfig{Ranks: 4, Tokens: 96, Degrees: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandTensor(41, 96, 32)
+	dy := RandTensor(42, 96, 32)
+	cw, err := NewWorld(layer, WorldConfig{Ranks: 4, Strategy: StrategyHybrid, GroupSize: 2, BatchTokens: 96, Calibration: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cw.Close()
+	f, b := cw.PipelineDegrees()
+	if f < 1 || f > 16 || b < 1 || b > 16 {
+		t.Fatalf("calibrated hybrid degrees out of range: fwd=%d bwd=%d", f, b)
+	}
+	layer.ZeroGrad()
+	y1, c1, err := cw.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.Backward(c1, dy); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewWorld(layer, WorldConfig{
+		Ranks: 4, Strategy: StrategyHybrid, GroupSize: 2, PipelineDegree: f, PipelineDegreeBwd: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	layer.ZeroGrad()
+	y2, c2, err := ref.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Backward(c2, dy); err != nil {
+		t.Fatal(err)
+	}
+	if y1.MaxAbsDiff(y2) != 0 {
+		t.Fatal("calibrated hybrid world differs from the testbed-driven hybrid world")
 	}
 }

@@ -49,3 +49,57 @@ func RingAllReduceChunkGuarded(g Guard, data [][]float64, gpusPerNode int, rr Ro
 	}
 	return RingAllReduceChunk(data, gpusPerNode, rr)
 }
+
+// GroupAlltoAllRowsGuarded is GroupAlltoAllRows behind a pre-transfer Guard.
+func GroupAlltoAllRowsGuarded(g Guard, algo A2AAlgo, group []int, data, out [][]float64, gpusPerNode int, dims BlockDims, rr RowRange) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return GroupAlltoAllRows(algo, group, data, out, gpusPerNode, dims, rr)
+}
+
+// GroupAllGatherRowsGuarded is GroupAllGatherRows behind a pre-transfer
+// Guard.
+func GroupAllGatherRowsGuarded(g Guard, group []int, data, out [][]float64, gpusPerNode int, dims BlockDims, rr RowRange) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return GroupAllGatherRows(group, data, out, gpusPerNode, dims, rr)
+}
+
+// GroupReduceScatterRowsGuarded is GroupReduceScatterRows behind a
+// pre-transfer Guard.
+func GroupReduceScatterRowsGuarded(g Guard, group []int, data, out [][]float64, gpusPerNode int, dims BlockDims, rr RowRange) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return GroupReduceScatterRows(group, data, out, gpusPerNode, dims, rr)
+}
+
+// GroupRingAllGatherIntoGuarded is GroupRingAllGatherInto behind a
+// pre-transfer Guard.
+func GroupRingAllGatherIntoGuarded(g Guard, group []int, out, data [][]float64, gpusPerNode int) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return GroupRingAllGatherInto(group, out, data, gpusPerNode)
+}
+
+// GroupRingReduceScatterIntoGuarded is GroupRingReduceScatterInto behind a
+// pre-transfer Guard.
+func GroupRingReduceScatterIntoGuarded(g Guard, group []int, out, data [][]float64, gpusPerNode int) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return GroupRingReduceScatterInto(group, out, data, gpusPerNode)
+}

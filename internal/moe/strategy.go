@@ -31,6 +31,17 @@ const (
 	// the convex token mixing stays in the replicated gate/order stages.
 	// Dense plans only.
 	StrategyDenseSlots Strategy = "dense-slots"
+	// StrategyHybrid is the §4 generalized configuration between the two
+	// pure endpoints: the R ranks split into R/g expert-parallel groups of
+	// g expert-sharding members (g = WorldConfig.GroupSize). Dispatch and
+	// combine AlltoAll route tokens *between* groups on the shared inter
+	// stream while AllGather/ReduceScatter and the sharded GEMM stages run
+	// *within* each group on per-group intra collective streams. GroupSize
+	// 1 degenerates to EP-shaped plans and GroupSize R to ESP-shaped ones
+	// (built by the specialized strategies, so the plans are exactly
+	// theirs). Hard-routing plans only; experts must implement
+	// ShardedExpert at every group size.
+	StrategyHybrid Strategy = "hybrid"
 )
 
 // ParallelStrategy builds the executable stream plans of one parallel
@@ -72,15 +83,17 @@ func strategyFor(s Strategy) (ParallelStrategy, error) {
 		return &espStrategy{}, nil
 	case StrategyDenseSlots:
 		return &denseSlotsStrategy{}, nil
+	case StrategyHybrid:
+		return &hybridStrategy{}, nil
 	default:
-		return nil, fmt.Errorf("moe: unknown parallel strategy %q (valid: %s, %s, %s)",
-			s, StrategyEP, StrategyESP, StrategyDenseSlots)
+		return nil, fmt.Errorf("moe: unknown parallel strategy %q (valid: %s, %s, %s, %s)",
+			s, StrategyEP, StrategyESP, StrategyDenseSlots, StrategyHybrid)
 	}
 }
 
 // Strategies lists every built-in parallel strategy.
 func Strategies() []Strategy {
-	return []Strategy{StrategyEP, StrategyESP, StrategyDenseSlots}
+	return []Strategy{StrategyEP, StrategyESP, StrategyDenseSlots, StrategyHybrid}
 }
 
 // DenseRouter marks gates whose plans use dense (SoftMoE-style) routing.

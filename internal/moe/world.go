@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	stdsync "sync"
 	"time"
 
 	"repro/internal/comm"
@@ -53,6 +54,7 @@ type World struct {
 
 	seq      bool // execute plans sequentially (no-overlap baseline)
 	sync     BackwardSyncer
+	statsMu  stdsync.Mutex
 	stats    comm.Stats
 	lastPlan *runtime.Plan
 	lastTr   *sim.Trace
@@ -99,6 +101,11 @@ type WorldConfig struct {
 	Algo        comm.A2AAlgo // AlltoAll algorithm (default Direct)
 	GPUsPerNode int          // node shape for 1DH/2DH and Stats (default Ranks)
 	Strategy    Strategy     // parallel scheme (default StrategyEP)
+	// GroupSize is the expert-sharding group width g for StrategyHybrid:
+	// the R ranks split into R/g dispatch groups of g sharding members.
+	// Required (in [1, Ranks], dividing Ranks) when Strategy is
+	// StrategyHybrid; ignored by every other strategy.
+	GroupSize int
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
@@ -291,6 +298,15 @@ func (w *World) Strategy() Strategy { return w.strat.Name() }
 
 // Degrees returns the configured forward and backward pipeline degrees.
 func (w *World) Degrees() (fwd, bwd int) { return w.cfg.ChunksFwd, w.cfg.ChunksBwd }
+
+// GroupSize returns the hybrid EP-group size in effect (0 unless the
+// strategy is StrategyHybrid).
+func (w *World) GroupSize() int {
+	if w.strat.Name() != StrategyHybrid {
+		return 0
+	}
+	return w.cfg.GroupSize
+}
 
 // SetSequential switches plan execution to the single-goroutine,
 // no-overlap baseline (true) or the pipelined stream executor (false).
@@ -514,9 +530,15 @@ func retriesIn(tr *sim.Trace) int {
 // mapping every strategy and RankGrads share).
 func (w *World) expert(j, el int) Expert { return w.layer.cfg.Experts[j*w.egrp+el] }
 
-// addStats accumulates collective traffic. Safe without locking: every
-// strategy issues its measured collectives on a single serialized stream.
-func (w *World) addStats(st comm.Stats) { w.stats.Merge(st) }
+// addStats accumulates collective traffic. Locked: the hybrid strategy
+// runs its per-group intra collectives on concurrent streams (EP and ESP
+// serialize all measured collectives on one stream, but pay the mutex
+// anyway — it is uncontended there).
+func (w *World) addStats(st comm.Stats) {
+	w.statsMu.Lock()
+	w.stats.Merge(st)
+	w.statsMu.Unlock()
+}
 
 // expertEst is a structural duration estimate (MMACs) of rank j's local
 // expert group for Simulate; the realpipe workflow replaces it with

@@ -1,0 +1,405 @@
+package moe
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// shardedOnly hides every expert fast path except the ShardedExpert
+// contract the hybrid strategy requires: no ChunkedExpert, no IntoExpert.
+// At g=1 the hybrid's EP delegate then routes through the whole-block
+// fallback — the hybrid counterpart of TestWorldFallbackExperts.
+type shardedOnly struct{ inner ShardedExpert }
+
+func (o shardedOnly) Name() string     { return o.inner.Name() }
+func (o shardedOnly) Params() []*Param { return o.inner.Params() }
+func (o shardedOnly) Forward(x *tensor.Tensor) (*tensor.Tensor, ExpertCache) {
+	return o.inner.Forward(x)
+}
+func (o shardedOnly) Backward(c ExpertCache, dy *tensor.Tensor) *tensor.Tensor {
+	return o.inner.Backward(c, dy)
+}
+func (o shardedOnly) FwdMACs(n int) float64 { return o.inner.FwdMACs(n) }
+func (o shardedOnly) ParamBytes() float64   { return o.inner.ParamBytes() }
+func (o shardedOnly) HiddenWidth() int      { return o.inner.HiddenWidth() }
+func (o shardedOnly) FwdBands() int         { return o.inner.FwdBands() }
+func (o shardedOnly) BwdBands() int         { return o.inner.BwdBands() }
+func (o shardedOnly) BeginSharded(x, out, hf *tensor.Tensor, cl, ch int, pool *tensor.Pool) ShardedCache {
+	return o.inner.BeginSharded(x, out, hf, cl, ch, pool)
+}
+func (o shardedOnly) ForwardHidden(sc ShardedCache, lo, hi int) { o.inner.ForwardHidden(sc, lo, hi) }
+func (o shardedOnly) ForwardOut(sc ShardedCache, lo, hi int)    { o.inner.ForwardOut(sc, lo, hi) }
+func (o shardedOnly) BackwardHidden(sc ShardedCache, dy, hb *tensor.Tensor, lo, hi int) {
+	o.inner.BackwardHidden(sc, dy, hb, lo, hi)
+}
+func (o shardedOnly) BackwardIn(sc ShardedCache, dy, dx, hb *tensor.Tensor, lo, hi int) {
+	o.inner.BackwardIn(sc, dy, dx, hb, lo, hi)
+}
+func (o shardedOnly) FinishSharded(sc ShardedCache, dy, hb *tensor.Tensor) {
+	o.inner.FinishSharded(sc, dy, hb)
+}
+func (o shardedOnly) DropSharded(sc ShardedCache) { o.inner.DropSharded(sc) }
+
+// wrapShardedOnly wraps every expert of layer in shardedOnly.
+func wrapShardedOnly(t *testing.T, layer *MOELayer) {
+	t.Helper()
+	for i, ex := range layer.cfg.Experts {
+		se, ok := ex.(ShardedExpert)
+		if !ok {
+			t.Fatalf("expert %d is not sharded", i)
+		}
+		layer.cfg.Experts[i] = shardedOnly{se}
+	}
+}
+
+// TestWorldHybridBitIdentical is the hybrid acceptance test: forward and
+// backward bit-identical to the sequential layer across the full
+// (GroupSize, degree) grid g ∈ {1, 2, R} × r ∈ {1, 2, 4} at R=4, for
+// every hard-routing gate. The token count (96, capacity 30) does not
+// divide by R=4, exercising the slot padding path throughout.
+func TestWorldHybridBitIdentical(t *testing.T) {
+	x := tensor.RandN(xrand.New(21), 1, 4, 24, 32) // (B, L, M), N = 96
+	dy := tensor.RandN(xrand.New(22), 1, 4, 24, 32)
+	for _, gate := range []string{"gshard", "sigmoid", "xmoe", "ec"} {
+		layer := worldLayer(t, gate, TutelOrder{}, false, false)
+		want := runSequentialLayer(t, layer, x, dy)
+		for _, g := range []int{1, 2, 4} {
+			for _, r := range []int{1, 2, 4} {
+				label := fmt.Sprintf("gate=%s g=%d r=%d", gate, g, r)
+				got := runWorld(t, layer, WorldConfig{
+					Ranks: 4, ChunksFwd: r, Strategy: StrategyHybrid, GroupSize: g,
+				}, x, dy, false)
+				compareSnapshots(t, label, want, got)
+			}
+		}
+	}
+}
+
+// TestWorldHybridBitIdenticalVariants covers the remaining hybrid axes:
+// Mixtral experts (two-band backward exchange), split forward/backward
+// degrees, the sequential executor, hierarchical AlltoAll lanes with a
+// node shape that splits the groups, a larger world (R=8: one expert per
+// rank, four groups), and sharded-only experts — which at g=1 route the
+// EP delegate through its whole-block fallback.
+func TestWorldHybridBitIdenticalVariants(t *testing.T) {
+	x := tensor.RandN(xrand.New(31), 1, 96, 32)
+	dy := tensor.RandN(xrand.New(32), 1, 96, 32)
+	cases := []struct {
+		name        string
+		mixtral     bool
+		shardedOnly bool
+		cfg         WorldConfig
+		seqExec     bool
+	}{
+		{"mixtral", true, false, WorldConfig{Ranks: 4, ChunksFwd: 2, GroupSize: 2}, false},
+		{"split-degrees", false, false, WorldConfig{Ranks: 4, ChunksFwd: 4, ChunksBwd: 2, GroupSize: 2}, false},
+		{"sequential-exec", false, false, WorldConfig{Ranks: 4, ChunksFwd: 3, GroupSize: 2}, true},
+		{"1dh-lanes", false, false, WorldConfig{Ranks: 4, ChunksFwd: 2, GroupSize: 2, Algo: comm.A2A1DH, GPUsPerNode: 2}, false},
+		{"nodes-split-groups", false, false, WorldConfig{Ranks: 4, ChunksFwd: 2, GroupSize: 4, GPUsPerNode: 2}, false},
+		{"r8-g2", false, false, WorldConfig{Ranks: 8, ChunksFwd: 2, GroupSize: 2}, false},
+		{"r8-g4", false, false, WorldConfig{Ranks: 8, ChunksFwd: 3, GroupSize: 4}, false},
+		{"sharded-only-g2", false, true, WorldConfig{Ranks: 4, ChunksFwd: 2, GroupSize: 2}, false},
+		{"sharded-only-fallback-g1", false, true, WorldConfig{Ranks: 4, ChunksFwd: 2, GroupSize: 1}, false},
+	}
+	for _, tc := range cases {
+		tc.cfg.Strategy = StrategyHybrid
+		layer := worldLayer(t, "gshard", TutelOrder{}, tc.mixtral, false)
+		if tc.shardedOnly {
+			wrapShardedOnly(t, layer)
+		}
+		want := runSequentialLayer(t, layer, x, dy)
+		if tc.shardedOnly && tc.cfg.GroupSize == 1 {
+			w, err := NewWorld(layer, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Chunked() {
+				t.Fatal("sharded-only experts at g=1 must route through the EP whole-block fallback")
+			}
+		}
+		got := runWorld(t, layer, tc.cfg, x, dy, tc.seqExec)
+		compareSnapshots(t, tc.name, want, got)
+	}
+}
+
+// planShape runs one forward+backward pass and returns the two plans'
+// task lists.
+func planShape(t *testing.T, l *MOELayer, cfg WorldConfig, x, dy *tensor.Tensor) (fwd, bwd []string, snap worldSnapshot) {
+	t.Helper()
+	w, err := NewWorld(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ZeroGrad()
+	y, cache, err := w.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd = taskLines(w)
+	dx, err := w.Backward(cache, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd = taskLines(w)
+	return fwd, bwd, worldSnapshot{y: y, dx: dx, grads: snapGrads(l)}
+}
+
+func taskLines(w *World) []string {
+	var out []string
+	for _, ti := range w.LastPlan().Tasks() {
+		out = append(out, fmt.Sprintf("%d %s %s %s %.6g %v", ti.ID, ti.Label, ti.Kind, ti.Stream, ti.Est, ti.Deps))
+	}
+	return out
+}
+
+// TestWorldHybridDegenerateTraces is the degenerate-case regression test:
+// hybrid plans at GroupSize 1 and R must be task-for-task identical
+// (label, kind, stream, estimate, dependencies) to the pure EP and ESP
+// plans, and produce identical outputs — the delegate builds exactly the
+// specialized schedule, so the 2-D grid's edges coincide with the 1-D
+// strategies by construction, not by approximation.
+func TestWorldHybridDegenerateTraces(t *testing.T) {
+	x := tensor.RandN(xrand.New(33), 1, 96, 32)
+	dy := tensor.RandN(xrand.New(34), 1, 96, 32)
+	for _, tc := range []struct {
+		name string
+		g    int
+		pure Strategy
+	}{
+		{"g1-ep", 1, StrategyEP},
+		{"gR-esp", 4, StrategyESP},
+	} {
+		layer := worldLayer(t, "gshard", TutelOrder{}, false, false)
+		pureFwd, pureBwd, pureSnap := planShape(t, layer,
+			WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: tc.pure}, x, dy)
+		hybFwd, hybBwd, hybSnap := planShape(t, layer,
+			WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: StrategyHybrid, GroupSize: tc.g}, x, dy)
+		comparePlanLines(t, tc.name+" forward", pureFwd, hybFwd)
+		comparePlanLines(t, tc.name+" backward", pureBwd, hybBwd)
+		compareSnapshots(t, tc.name, pureSnap, hybSnap)
+	}
+}
+
+func comparePlanLines(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d tasks", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: task %d differs:\npure:   %s\nhybrid: %s", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestWorldHybridValidation: hybrid misconfiguration fails at NewWorld
+// with errors naming the strategy and the offending field.
+func TestWorldHybridValidation(t *testing.T) {
+	layer := worldLayer(t, "gshard", TutelOrder{}, false, false)
+	for _, g := range []int{0, -1, 5} {
+		_, err := NewWorld(layer, WorldConfig{Ranks: 4, Strategy: StrategyHybrid, GroupSize: g})
+		if err == nil || !strings.Contains(err.Error(), string(StrategyHybrid)) || !strings.Contains(err.Error(), "GroupSize") {
+			t.Fatalf("GroupSize=%d: %v", g, err)
+		}
+	}
+	_, err := NewWorld(layer, WorldConfig{Ranks: 4, Strategy: StrategyHybrid, GroupSize: 3})
+	if err == nil || !strings.Contains(err.Error(), string(StrategyHybrid)) ||
+		!strings.Contains(err.Error(), "GroupSize") || !strings.Contains(err.Error(), "dividing") {
+		t.Fatalf("GroupSize=3 over 4 ranks: %v", err)
+	}
+
+	// The sharded contract is required at every group size, g=1 included.
+	wrapped := worldLayer(t, "gshard", TutelOrder{}, false, true)
+	for _, g := range []int{1, 2} {
+		_, err := NewWorld(wrapped, WorldConfig{Ranks: 4, Strategy: StrategyHybrid, GroupSize: g})
+		if err == nil || !strings.Contains(err.Error(), string(StrategyHybrid)) || !strings.Contains(err.Error(), "ShardedExpert") {
+			t.Fatalf("plain experts at g=%d: %v", g, err)
+		}
+	}
+
+	// Dense plans are rejected at Forward, naming both strategies.
+	dense := softmoeLayer(t, false, 2)
+	w, err := NewWorld(dense, WorldConfig{Ranks: 2, Strategy: StrategyHybrid, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Forward(tensor.RandN(xrand.New(5), 1, 16, 32), false); err == nil ||
+		!strings.Contains(err.Error(), string(StrategyHybrid)) || !strings.Contains(err.Error(), string(StrategyDenseSlots)) {
+		t.Fatalf("hybrid on dense plan: %v", err)
+	}
+}
+
+// TestWorldHybridTraceShape pins the two-stream schedule: dispatch and
+// combine AlltoAll run on the shared inter stream while every AllGather
+// and ReduceScatter runs on a per-group intra collective stream — both
+// collective families live in one plan, which neither EP nor ESP ever has.
+func TestWorldHybridTraceShape(t *testing.T) {
+	layer := worldLayer(t, "gshard", TutelOrder{}, false, false)
+	w, err := NewWorld(layer, WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: StrategyHybrid, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Strategy() != StrategyHybrid {
+		t.Fatalf("Strategy() = %q", w.Strategy())
+	}
+	x := tensor.RandN(xrand.New(51), 1, 64, 32)
+	_, cache, err := w.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := func() map[string]int {
+		kinds := map[string]int{}
+		groupStreams := map[string]bool{}
+		for _, iv := range w.LastTrace().Intervals {
+			kinds[iv.Task.Kind]++
+			switch iv.Task.Kind {
+			case KindA2A:
+				if iv.Task.Stream != "inter" {
+					t.Fatalf("AlltoAll %q on stream %q, want inter", iv.Task.Label, iv.Task.Stream)
+				}
+			case KindAG, KindRS:
+				if !strings.HasPrefix(iv.Task.Stream, "intra:g") {
+					t.Fatalf("%s %q on stream %q, want a per-group intra:g<G> stream", iv.Task.Kind, iv.Task.Label, iv.Task.Stream)
+				}
+				groupStreams[iv.Task.Stream] = true
+			}
+		}
+		if len(groupStreams) != 2 {
+			t.Fatalf("group collective streams = %v, want both groups live", groupStreams)
+		}
+		return kinds
+	}
+	fwd := counts()
+	// Per chunk: one dispatch + one combine AlltoAll step on inter; per
+	// chunk and group: input AllGather, hidden AllGather, ReduceScatter.
+	if fwd[KindA2A] != 4 || fwd[KindAG] != 8 || fwd[KindRS] != 4 {
+		t.Fatalf("forward kinds = %v, want 4 AlltoAll + 8 AllGather + 4 ReduceScatter", fwd)
+	}
+	if _, err := w.Backward(cache, tensor.RandN(xrand.New(52), 1, 64, 32)); err != nil {
+		t.Fatal(err)
+	}
+	bwd := counts()
+	if bwd[KindA2A] != 4 || bwd[KindAG] != 8 || bwd[KindRS] != 4 {
+		t.Fatalf("backward kinds = %v, want 4 AlltoAll + 8 AllGather + 4 ReduceScatter", bwd)
+	}
+	st := w.Stats()
+	if st.IntraVolume+st.InterVolume <= 0 {
+		t.Fatal("no collective traffic recorded")
+	}
+}
+
+// TestWorldStepHybrid: a StepWorlds stack of hybrid layers — and a mixed
+// EP/hybrid/ESP stack — steps to bit-identical parameters with the §5
+// AllReduce slices genuinely embedded in the backward plans' inter stream
+// (where under hybrid they contend with the dispatch-gradient lanes,
+// exactly as the emit-point budget assumes).
+func TestWorldStepHybrid(t *testing.T) {
+	const layers, lr = 3, 0.05
+	x := tensor.RandN(xrand.New(71), 1, 96, 32)
+	dy := tensor.RandN(xrand.New(72), 1, 96, 32)
+
+	refLayers := make([]*MOELayer, layers)
+	for i := range refLayers {
+		refLayers[i] = worldLayer(t, "gshard", TutelOrder{}, false, false)
+	}
+	want := refStep(t, refLayers, x, dy, lr)
+
+	stacks := map[string][]WorldConfig{
+		"hybrid": {
+			{Ranks: 4, ChunksFwd: 2, Strategy: StrategyHybrid, GroupSize: 2},
+			{Ranks: 4, ChunksFwd: 2, Strategy: StrategyHybrid, GroupSize: 2},
+			{Ranks: 4, ChunksFwd: 2, Strategy: StrategyHybrid, GroupSize: 2},
+		},
+		"mixed": {
+			{Ranks: 4, ChunksFwd: 2, Strategy: StrategyEP},
+			{Ranks: 4, ChunksFwd: 2, Strategy: StrategyHybrid, GroupSize: 2},
+			{Ranks: 4, ChunksFwd: 2, Strategy: StrategyESP},
+		},
+	}
+	for name, cfgs := range stacks {
+		ws := make([]*World, layers)
+		for i := 0; i < layers; i++ {
+			l := worldLayer(t, "gshard", TutelOrder{}, false, false)
+			w, err := NewWorld(l, cfgs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws[i] = w
+		}
+		res, err := StepWorlds(ws, x, dy, StepConfig{LR: lr})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for r := 0; r < 4; r++ {
+			for k := range want {
+				if res.RankParams[r][k] != want[k] {
+					t.Fatalf("%s: rank %d param %d = %v, reference %v", name, r, k, res.RankParams[r][k], want[k])
+				}
+			}
+		}
+		arInPlans := 0
+		for _, tr := range res.Traces {
+			for _, iv := range tr.Intervals {
+				if iv.Task.Kind == "AllReduce" && iv.Task.Stream == "inter" {
+					arInPlans++
+				}
+			}
+		}
+		if arInPlans == 0 {
+			t.Fatalf("%s: no AllReduce slices embedded in backward plans", name)
+		}
+	}
+}
+
+// BenchmarkWorldHybridGrid measures one fwd+bwd pass per (GroupSize,
+// degree) cell of the 2-D grid at R=4 — the hybrid counterpart of the
+// strategy sweep, and the CI grid smoke (-benchtime=1x).
+func BenchmarkWorldHybridGrid(b *testing.B) {
+	const m, e, h, tokens = 64, 8, 128, 512
+	for _, g := range []int{1, 2, 4} {
+		for _, r := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("g=%d/r=%d", g, r), func(b *testing.B) {
+				rng := xrand.New(91)
+				gate, err := NewGShardGate(GateConfig{Experts: e, TopK: 2, Factor: 1.2}, m, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				exps := make([]Expert, e)
+				for i := range exps {
+					if exps[i], err = NewGPTFFN(m, h, rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+				layer, err := NewMOELayer(LayerConfig{M: m, Gate: gate, Order: TutelOrder{}, Experts: exps})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w, err := NewWorld(layer, WorldConfig{
+					Ranks: 4, ChunksFwd: r, Strategy: StrategyHybrid, GroupSize: g,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				x := tensor.RandN(xrand.New(92), 1, tokens, m)
+				dy := tensor.RandN(xrand.New(93), 1, tokens, m)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					layer.ZeroGrad()
+					_, cache, err := w.Forward(x, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := w.Backward(cache, dy); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -66,7 +66,13 @@ func TestWorldStrategiesBitIdentical(t *testing.T) {
 		for _, ranks := range []int{1, 4} {
 			for _, r := range []int{1, 2, 4} {
 				label := fmt.Sprintf("strategy=%s R=%d r=%d", strat, ranks, r)
-				got := runWorld(t, layer, WorldConfig{Ranks: ranks, ChunksFwd: r, Strategy: strat}, x, dy, false)
+				cfg := WorldConfig{Ranks: ranks, ChunksFwd: r, Strategy: strat}
+				if strat == StrategyHybrid {
+					// The genuine mixed path at R=4 (two groups of two);
+					// R=1 only admits the degenerate g=1.
+					cfg.GroupSize = max(ranks/2, 1)
+				}
+				got := runWorld(t, layer, cfg, x, dy, false)
 				compareSnapshots(t, label, want, got)
 			}
 		}
@@ -410,7 +416,11 @@ func BenchmarkWorldStrategies(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				w, err := NewWorld(layer, WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: strat})
+				cfg := WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: strat}
+				if strat == StrategyHybrid {
+					cfg.GroupSize = 2
+				}
+				w, err := NewWorld(layer, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
