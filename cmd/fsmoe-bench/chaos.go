@@ -78,6 +78,9 @@ func chaosExperiment(iters int) error {
 				times = append(times, t)
 				faults += f
 				retries += r
+				if it == 0 && rate > 0 {
+					captureTrace(fmt.Sprintf("chaos %s rate=%.2f bwd", strat, rate), w.LastTrace())
+				}
 				if y.MaxAbsDiff(ref) != 0 {
 					identical = false
 				}
@@ -124,6 +127,7 @@ func chaosExperiment(iters int) error {
 			w.Close()
 			return fmt.Errorf("chaos: rank-down produced no DegradedResult (strategy %s)", strat)
 		}
+		captureTrace(fmt.Sprintf("chaos %s rank-down", strat), w.LastTrace())
 		tb2.AddRow(string(strat), deg.Phase, deg.Rank, len(deg.LostExperts),
 			deg.ReroutedTokens, deg.DroppedTokens, deg.Retries,
 			fmt.Sprintf("%.1f", deg.RecoveryMS))

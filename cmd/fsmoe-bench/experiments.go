@@ -24,13 +24,14 @@ func experimentTable() map[string]func(int) error {
 		"gradsync":  func(int) error { return gradsyncExperiment() },
 		"calibrate": func(int) error { return calibrateExperiment() },
 		"chaos":     chaosExperiment,
+		"telemetry": func(int) error { return telemetryExperiment() },
 	}
 }
 
 // allOrder is the presentation order of "-experiment all" — the simulated
-// paper experiments. realpipe, gradsync, calibrate and chaos execute real
-// multi-rank compute and are run explicitly, not as part of the paper
-// sweep.
+// paper experiments. realpipe, gradsync, calibrate, chaos and telemetry
+// execute real multi-rank compute and are run explicitly, not as part of
+// the paper sweep.
 func allOrder() []string {
 	return []string{"table2", "fig4", "fig5", "table5", "fig6", "fig7", "fig8", "table6", "degrees"}
 }

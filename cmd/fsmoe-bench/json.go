@@ -1,40 +1,22 @@
 package main
 
 // Machine-readable experiment output: with -json, every table an
-// experiment prints is also captured into BENCH_<experiment>.json, so the
-// perf trajectory across commits can be tracked by tooling instead of by
-// scraping stdout. The JSON mirrors the printed tables cell for cell —
-// one source of truth, two renderings.
+// experiment prints is also captured into BENCH_<experiment>.json via the
+// shared report.Doc schema (also used by fsmoe-profile -json).
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 
 	"repro/internal/report"
 )
 
-// jsonTable is one table of an experiment document.
-type jsonTable struct {
-	Title   string     `json:"title,omitempty"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-}
-
-// benchDoc is the BENCH_<experiment>.json schema.
-type benchDoc struct {
-	Experiment string      `json:"experiment"`
-	Tables     []jsonTable `json:"tables"`
-	Notes      []string    `json:"notes,omitempty"`
-}
-
 // jsonSink collects the current experiment's document; nil when -json is
 // off or between experiments.
-var jsonSink *benchDoc
+var jsonSink *report.Doc
 
 // beginJSONCapture starts collecting for one experiment.
 func beginJSONCapture(experiment string) {
-	jsonSink = &benchDoc{Experiment: experiment}
+	jsonSink = report.NewDoc(experiment)
 }
 
 // writeJSONCapture writes the collected document to BENCH_<experiment>.json
@@ -45,12 +27,8 @@ func writeJSONCapture() error {
 	if doc == nil {
 		return nil
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+	path, err := doc.WriteFile()
 	if err != nil {
-		return err
-	}
-	path := fmt.Sprintf("BENCH_%s.json", doc.Experiment)
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
@@ -61,11 +39,7 @@ func writeJSONCapture() error {
 func emit(tb *report.Table) {
 	fmt.Println(tb)
 	if jsonSink != nil {
-		jsonSink.Tables = append(jsonSink.Tables, jsonTable{
-			Title:   tb.Title,
-			Columns: tb.Headers,
-			Rows:    tb.Rows(),
-		})
+		jsonSink.AddTable(tb)
 	}
 }
 

@@ -10,11 +10,16 @@
 //	fsmoe-bench -experiment gradsync
 //
 // Experiments: table2, table5, table6, fig4, fig5, fig6, fig7, fig8,
-// degrees, realpipe, gradsync, calibrate, chaos, all. -sample N evaluates every Nth
-// configuration of the 1458 Table 4 grid (1 = full sweep; chaos reuses it
-// as passes per cell). "all" runs the simulated paper experiments;
-// realpipe, gradsync, calibrate and chaos execute real multi-rank passes
-// and are invoked explicitly.
+// degrees, realpipe, gradsync, calibrate, chaos, telemetry, all. -sample N
+// evaluates every Nth configuration of the 1458 Table 4 grid (1 = full
+// sweep; chaos reuses it as passes per cell). "all" runs the simulated
+// paper experiments; realpipe, gradsync, calibrate, chaos and telemetry
+// execute real multi-rank passes and are invoked explicitly.
+//
+// Observability: -trace out.json writes the measured stream plans of any
+// real-execution experiment as Chrome trace-event JSON (Perfetto-loadable);
+// -pprof addr serves net/http/pprof with the live telemetry registry
+// published on /debug/vars.
 package main
 
 import (
@@ -32,9 +37,11 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|gradsync|calibrate|chaos|all")
+	experiment := flag.String("experiment", "all", "table2|table5|table6|fig4|fig5|fig6|fig7|fig8|degrees|realpipe|gradsync|calibrate|chaos|telemetry|all")
 	sample := flag.Int("sample", 9, "evaluate every Nth Table 4 configuration (1 = all 1458); for chaos: passes per cell")
 	jsonOut := flag.Bool("json", false, "also write each experiment's tables to BENCH_<experiment>.json (perf-trajectory tracking)")
+	traceOut := flag.String("trace", "", "write measured stream plans as Chrome trace-event JSON to this file (realpipe/chaos/telemetry)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), telemetry registry on /debug/vars")
 	flag.Parse()
 
 	// Validate up front so a typo fails with the full menu instead of a
@@ -42,6 +49,14 @@ func main() {
 	names, err := lookupExperiments(*experiment)
 	if err != nil {
 		fatal(err)
+	}
+	if *pprofAddr != "" {
+		if err := startDebugServer(*pprofAddr); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		enableTraceCapture()
 	}
 	runs := experimentTable()
 	for i, name := range names {
@@ -58,6 +73,11 @@ func main() {
 		}
 		if i < len(names)-1 {
 			fmt.Println()
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTraceCapture(*traceOut); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -79,7 +79,7 @@ func TestJSONCapture(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var doc benchDoc
+	var doc report.Doc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}

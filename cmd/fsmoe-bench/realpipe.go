@@ -169,9 +169,14 @@ func runRealpipe(cfg realpipeConfig, ranks int, strat fsmoe.Strategy) ([]any, er
 
 	// Measured pipelined execution.
 	w.SetSequential(false)
-	pipe, _, _, err := measurePass(layer, w, x, dy)
+	pipe, _, ptraces, err := measurePass(layer, w, x, dy)
 	if err != nil {
 		return nil, err
+	}
+	for i, phase := range []string{"fwd", "bwd"} {
+		if i < len(ptraces) {
+			captureTrace(fmt.Sprintf("realpipe %s %s %s", cfg.name, stratCell(strat, w.GroupSize()), phase), ptraces[i])
+		}
 	}
 
 	return []any{

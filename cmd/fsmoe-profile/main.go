@@ -8,6 +8,7 @@
 //
 //	fsmoe-profile            # both testbeds
 //	fsmoe-profile -cpu       # additionally time a real CPU matmul and fit it
+//	fsmoe-profile -json      # also write BENCH_profile.json (same cells as stdout)
 package main
 
 import (
@@ -24,7 +25,13 @@ import (
 
 func main() {
 	cpu := flag.Bool("cpu", false, "also profile a real CPU GEMM via wall-clock timing")
+	jsonOut := flag.Bool("json", false, "also write the fitted models to BENCH_profile.json")
 	flag.Parse()
+
+	var doc *report.Doc
+	if *jsonOut {
+		doc = report.NewDoc("profile")
+	}
 
 	for _, c := range []*topology.Cluster{topology.TestbedA(), topology.TestbedB()} {
 		cm, err := perfmodel.ProfileCluster(c)
@@ -45,6 +52,9 @@ func main() {
 		row("AllReduce", cm.AR)
 		row("GEMM", cm.GEMM)
 		fmt.Println(tb)
+		if doc != nil {
+			doc.AddTable(tb)
+		}
 	}
 
 	if *cpu {
@@ -64,7 +74,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("cpu-gemm: alpha=%.4f ms, beta=%.3e ms/MAC, R2=%.4f\n", fit.Alpha, fit.Beta, fit.R2)
+		line := fmt.Sprintf("cpu-gemm: alpha=%.4f ms, beta=%.3e ms/MAC, R2=%.4f", fit.Alpha, fit.Beta, fit.R2)
+		fmt.Println(line)
+		if doc != nil {
+			doc.AddNote(line)
+		}
+	}
+
+	if doc != nil {
+		path, err := doc.WriteFile()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/moe"
 	"repro/internal/perfmodel"
 	"repro/internal/runtime"
+	"repro/internal/sim"
 )
 
 // Fitted is a calibrated linear cost model with its goodness of fit.
@@ -384,8 +385,9 @@ func (c *Calibration) fitAllReduce(ranks int) {
 	}
 }
 
-// KindAllReduce keys the Gradient-AllReduce fit in Calibration.Fits.
-const KindAllReduce = "AllReduce"
+// KindAllReduce keys the Gradient-AllReduce fit in Calibration.Fits — the
+// canonical sim vocabulary string (sim/vocab.go).
+const KindAllReduce = sim.KindAllReduce
 
 // Models returns the fitted scheduler models. They are in plan-estimate
 // units and meant to be consumed through WorldConfig.Calibration (which

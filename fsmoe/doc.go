@@ -160,4 +160,35 @@
 // (a closed World fails fast with ErrWorldClosed). StepStack completes
 // multi-layer §5 steps around a degraded layer with every rank's
 // post-step replica still bit-identical.
+//
+// # Observability
+//
+// The runtime reports what it executed. Set WorldConfig.Sink and every
+// Step / StepWorlds call builds one *StepMetrics — wall/tail times,
+// per-stream busy fractions, the overlap ratio vs the serialized task
+// time, per-expert token loads with utilization entropy and imbalance,
+// fault/retry/degraded tallies and the planned pool split — returns it on
+// StepResult.Metrics and hands it to the sink. NewTelemetry creates a
+// metrics registry (counters, gauges, fixed-bucket histograms; an
+// expvar.Var), and NewRegistrySink folds step metrics into one.
+// ChromeTraceJSON / ChromeTraceBuilder / WriteChromeTrace export any
+// measured or simulated Trace as Chrome trace_event JSON for Perfetto or
+// chrome://tracing: one thread row per stream (annotated with its
+// worker/pinning binding), task kinds as categories, fault incidents as
+// instant events.
+//
+// Sink threading and ownership: OnStep is invoked synchronously from the
+// goroutine that finished the step, after the SGD update, never
+// concurrently with itself for one World stack — a sink that fans out to
+// files or sockets must do its own buffering if it cannot afford to block
+// the training loop. The metrics value is fully formed when OnStep runs
+// and the runtime never mutates or retains it afterwards; the sink may
+// keep it. Several Worlds stepped together by StepWorlds may share one
+// Sink value — it is deduplicated and receives each step exactly once.
+// A nil Sink disables emission entirely; the guard is a single nil check,
+// so unconfigured telemetry adds zero allocations to the step hot path
+// (BenchmarkStepTelemetryGuard pins this). Registry instruments are
+// shared handles: any goroutine may Add/Set/Observe concurrently, and
+// Snapshot may run concurrently with writers (it reads atomically, not
+// transactionally).
 package fsmoe

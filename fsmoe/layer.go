@@ -43,13 +43,16 @@ type (
 // GateKind names a built-in gating function.
 type GateKind string
 
-// The four pre-implemented routing functions of §3.1 plus expert choice.
+// The four pre-implemented routing functions of §3.1 plus expert choice,
+// and the deterministic Zipf measurement gate (skewed load on demand for
+// telemetry and load-balancing experiments).
 const (
 	GateGShard  GateKind = "gshard"
 	GateSigmoid GateKind = "sigmoid"
 	GateXMoE    GateKind = "xmoe"
 	GateEC      GateKind = "ec"
 	GateSoftMoE GateKind = "softmoe"
+	GateZipf    GateKind = "zipf"
 )
 
 // OrderKind names a built-in ordering function.
@@ -88,6 +91,7 @@ type LayerConfig struct {
 	SlotsPerExpert int     // SoftMoE slots per expert (default 1)
 	XMoELowRank    int     // X-MoE projection rank (default M/8)
 	XMoETau        float64 // X-MoE temperature (default 0.3)
+	ZipfSkew       float64 // Zipf gate skew exponent s (default 1.0; negative routes uniformly)
 
 	Seed  uint64 // parameter initialization seed (default 1)
 	Hooks []Hooks
@@ -130,6 +134,12 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 				slots = 1
 			}
 			gate, err = moe.NewSoftMoEGate(gcfg, cfg.M, slots, rng)
+		case GateZipf:
+			skew := cfg.ZipfSkew
+			if skew == 0 {
+				skew = 1.0
+			}
+			gate, err = moe.NewZipfGate(gcfg, cfg.M, skew, cfg.Seed)
 		default:
 			return nil, fmt.Errorf("fsmoe: unknown gate kind %q", cfg.Gate)
 		}

@@ -160,6 +160,12 @@ type WorldConfig struct {
 	// closing the scheduler→runtime loop in both directions. Explicit
 	// Strategy/PipelineDegree settings still win.
 	Calibration *Calibration
+
+	// Sink, when non-nil, receives one StepMetrics per completed training
+	// step (Step/StepStack) and the record is attached to
+	// StepResult.Metrics. Nil disables per-step telemetry at zero cost to
+	// the step path.
+	Sink Sink
 }
 
 // World executes a Layer across in-process ranks under a pluggable
@@ -273,6 +279,7 @@ func NewWorld(l *Layer, cfg WorldConfig) (*World, error) {
 		GPUsPerNode: cfg.GPUsPerNode,
 		Strategy:    strat,
 		GroupSize:   groupSize,
+		Sink:        cfg.Sink,
 	})
 	if err != nil {
 		return nil, err

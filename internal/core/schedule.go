@@ -78,14 +78,15 @@ func (m Models) a2aFor(sys System) perfmodel.Linear {
 	return m.A2A
 }
 
-// Task kinds used for breakdown reporting (Table 2 vocabulary).
+// Task kinds used for breakdown reporting (Table 2 vocabulary) — aliases
+// of the canonical sim vocabulary (sim/vocab.go).
 const (
-	KindA2A    = "AlltoAll"
-	KindAG     = "AllGather"
-	KindRS     = "ReduceScatter"
-	KindAR     = "AllReduce"
-	KindExpert = "Experts"
-	KindOthers = "Others"
+	KindA2A    = sim.KindAlltoAll
+	KindAG     = sim.KindAllGather
+	KindRS     = sim.KindReduceScatter
+	KindAR     = sim.KindAllReduce
+	KindExpert = sim.KindExperts
+	KindOthers = sim.KindOthers
 )
 
 // buildForwardLayer emits one generalized layer's forward tasks and returns

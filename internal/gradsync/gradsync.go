@@ -26,6 +26,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/runtime"
+	"repro/internal/sim"
 )
 
 // Strategy selects how gradient synchronization is scheduled relative to
@@ -46,9 +47,10 @@ const (
 	StrategyNoOverlap Strategy = "no-overlap"
 )
 
-// KindAllReduce is the task kind of emitted AllReduce slices, matching
-// the Table 2 vocabulary used by the simulator's Gradient-AllReduce rows.
-const KindAllReduce = "AllReduce"
+// KindAllReduce is the task kind of emitted AllReduce slices — an alias
+// of the canonical sim vocabulary (sim/vocab.go), matching the Table 2
+// strings used by the simulator's Gradient-AllReduce rows.
+const KindAllReduce = sim.KindAllReduce
 
 // LayerSpec registers one generalized layer with a Syncer.
 type LayerSpec struct {

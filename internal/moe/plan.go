@@ -49,6 +49,29 @@ type DispatchPlan struct {
 // IsDense reports whether the plan uses soft (dense) routing.
 func (p *DispatchPlan) IsDense() bool { return p.DispatchW != nil }
 
+// ExpertLoad returns the number of real tokens routed to each expert —
+// occupied slots for hard plans (capacity padding excluded), Capacity for
+// every expert of a dense plan (each slot is a convex combination of all
+// tokens, so every slot carries load). This is the per-expert utilization
+// signal FlexMoE-style dynamic placement watches.
+func (p *DispatchPlan) ExpertLoad() []int {
+	load := make([]int, p.Experts)
+	if p.IsDense() {
+		for e := range load {
+			load[e] = p.Capacity
+		}
+		return load
+	}
+	for e := range p.SlotToken {
+		for _, tok := range p.SlotToken[e] {
+			if tok >= 0 {
+				load[e]++
+			}
+		}
+	}
+	return load
+}
+
 // Slots returns E*T.
 func (p *DispatchPlan) Slots() int { return p.Experts * p.Capacity }
 

@@ -13,11 +13,13 @@ package moe
 
 import (
 	"fmt"
+	"reflect"
 
 	"repro/internal/core"
 	"repro/internal/gradsync"
 	"repro/internal/runtime"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/topology"
 )
@@ -95,6 +97,12 @@ type StepResult struct {
 
 	Y  *tensor.Tensor // final forward output
 	DX *tensor.Tensor // input gradient
+
+	// Metrics is the step's structured telemetry record, built — and
+	// emitted to every distinct configured sink — only when at least one
+	// world in the stack has a WorldConfig.Sink; nil otherwise, so
+	// unconfigured telemetry adds nothing to the step path.
+	Metrics *telemetry.StepMetrics
 }
 
 // StepMS is the step's measured wall time: backward plus the exposed
@@ -142,6 +150,12 @@ func StepWorlds(worlds []*World, x, dy *tensor.Tensor, cfg StepConfig) (*StepRes
 
 	res := &StepResult{}
 
+	// Telemetry is pay-for-use: with no sink configured anywhere on the
+	// stack, sinks is nil and every metrics branch below is a single nil
+	// check — no traces retained, no metrics built, no allocations added.
+	sinks := stepSinks(worlds)
+	var fwdTraces []*sim.Trace
+
 	// Forward chain.
 	caches := make([]*WorldCache, len(worlds))
 	cur := x
@@ -153,6 +167,9 @@ func StepWorlds(worlds []*World, x, dy *tensor.Tensor, cfg StepConfig) (*StepRes
 		caches[i] = cache
 		if tr := w.LastTrace(); tr != nil {
 			res.ForwardMS += tr.Makespan
+			if sinks != nil {
+				fwdTraces = append(fwdTraces, tr)
+			}
 		}
 		cur = y
 	}
@@ -215,7 +232,96 @@ func StepWorlds(worlds []*World, x, dy *tensor.Tensor, cfg StepConfig) (*StepRes
 	res.Report = rep
 	res.TailMS = rep.TailMS
 
-	return res, applySGD(worlds, syncer, cfg.LR, ranks, res)
+	if err := applySGD(worlds, syncer, cfg.LR, ranks, res); err != nil {
+		return nil, err
+	}
+	step := worlds[0].steps
+	for _, w := range worlds {
+		w.steps++
+	}
+	if sinks != nil {
+		res.Metrics = buildStepMetrics(worlds, caches, fwdTraces, res, step)
+		for _, s := range sinks {
+			s.OnStep(res.Metrics)
+		}
+	}
+	return res, nil
+}
+
+// stepSinks collects the distinct non-nil telemetry sinks configured
+// across the stack (nil when telemetry is disabled everywhere — the
+// common case, which must not allocate).
+func stepSinks(worlds []*World) []telemetry.Sink {
+	var sinks []telemetry.Sink
+	for _, w := range worlds {
+		s := w.cfg.Sink
+		if s == nil {
+			continue
+		}
+		dup := false
+		for _, have := range sinks {
+			if sameSink(have, s) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sinks = append(sinks, s)
+		}
+	}
+	return sinks
+}
+
+// sameSink reports whether two sinks are the same emission target.
+// Interface equality would panic on uncomparable dynamic types (SinkFunc),
+// so reference kinds compare by identity instead.
+func sameSink(a, b telemetry.Sink) bool {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	if va.Type() != vb.Type() {
+		return false
+	}
+	switch va.Kind() {
+	case reflect.Func, reflect.Pointer, reflect.Map, reflect.Chan, reflect.Slice:
+		return va.Pointer() == vb.Pointer()
+	}
+	return va.Type().Comparable() && a == b
+}
+
+// buildStepMetrics assembles the step's structured record from quantities
+// the step already measured: the forward and backward traces (serial time,
+// per-stream busy time, fault/retry incidents), each layer's routing plan
+// (the FlexMoE per-expert load signal), the §5 sync report and the PR-5
+// resource plan. Called only when a sink is configured.
+func buildStepMetrics(worlds []*World, caches []*WorldCache, fwdTraces []*sim.Trace, res *StepResult, step int) *telemetry.StepMetrics {
+	w0 := worlds[0]
+	m := &telemetry.StepMetrics{
+		Step:      step,
+		Ranks:     w0.Ranks(),
+		Layers:    len(worlds),
+		Strategy:  string(w0.Strategy()),
+		GroupSize: w0.GroupSize(),
+	}
+	m.DegreeFwd, m.DegreeBwd = w0.Degrees()
+	m.ForwardMS, m.BackwardMS, m.TailMS = res.ForwardMS, res.BackwardMS, res.TailMS
+	for _, tr := range fwdTraces {
+		m.AddTrace(tr)
+	}
+	for _, tr := range res.Traces {
+		m.AddTrace(tr)
+	}
+	for _, c := range caches {
+		if c == nil || c.pr == nil || c.pr.plan == nil {
+			continue
+		}
+		m.AddExpertLoad(c.pr.plan.ExpertLoad())
+		m.DroppedTokens += c.pr.plan.Dropped
+	}
+	m.DegradedPasses = len(res.Degraded)
+	m.ComputeWorkers, m.CommWorkers = w0.ResourcePlan()
+	m.SyncHiddenBytes = res.Report.HiddenBytes
+	m.SyncTailBytes = res.Report.TailBytes
+	m.Finalize()
+	return m
 }
 
 // applySGD builds every rank's post-step replica from the synchronized

@@ -13,6 +13,7 @@ import (
 	"repro/internal/gradsync"
 	"repro/internal/runtime"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -72,6 +73,8 @@ type World struct {
 	down     int
 	degraded *DegradedResult
 	closed   bool
+
+	steps int // completed training steps on this world (telemetry ordinal)
 }
 
 // BackwardSyncer receives inter-stream emit points while a backward plan
@@ -106,6 +109,13 @@ type WorldConfig struct {
 	// Required (in [1, Ranks], dividing Ranks) when Strategy is
 	// StrategyHybrid; ignored by every other strategy.
 	GroupSize int
+
+	// Sink, when non-nil, receives one telemetry.StepMetrics per completed
+	// training step (Step/StepWorlds). With a nil Sink no metrics are
+	// built — the step hot path sees a single nil check and zero
+	// additional allocations. When a stack's worlds carry distinct sinks,
+	// each distinct sink receives the step's record once.
+	Sink telemetry.Sink
 }
 
 func (c WorldConfig) withDefaults() WorldConfig {
@@ -299,6 +309,13 @@ func (w *World) Strategy() Strategy { return w.strat.Name() }
 // Degrees returns the configured forward and backward pipeline degrees.
 func (w *World) Degrees() (fwd, bwd int) { return w.cfg.ChunksFwd, w.cfg.ChunksBwd }
 
+// Sink returns the configured per-step telemetry sink (nil when telemetry
+// is disabled).
+func (w *World) Sink() telemetry.Sink { return w.cfg.Sink }
+
+// Steps returns the number of completed training steps on this world.
+func (w *World) Steps() int { return w.steps }
+
 // GroupSize returns the hybrid EP-group size in effect (0 unless the
 // strategy is StrategyHybrid).
 func (w *World) GroupSize() int {
@@ -381,14 +398,15 @@ type WorldCache struct {
 	deg        *degradedState // non-nil when the forward ran degraded
 }
 
-// Task kinds in the trace breakdown, matching internal/core's Table 2
-// vocabulary where the operations coincide.
+// Task kinds in the trace breakdown — aliases of the canonical sim
+// vocabulary (sim/vocab.go), matching internal/core's Table 2 strings
+// where the operations coincide.
 const (
-	KindA2A    = "AlltoAll"
-	KindAG     = "AllGather"
-	KindRS     = "ReduceScatter"
-	KindExpert = "Experts"
-	KindPack   = "Pack" // wire-layout (un)packing, the local Order work
+	KindA2A    = sim.KindAlltoAll
+	KindAG     = sim.KindAllGather
+	KindRS     = sim.KindReduceScatter
+	KindExpert = sim.KindExperts
+	KindPack   = sim.KindPack // wire-layout (un)packing, the local Order work
 )
 
 // streams for rank r; collStream serializes a strategy's intra-node

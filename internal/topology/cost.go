@@ -1,16 +1,19 @@
 package topology
 
+import "repro/internal/sim"
+
 // OpKind identifies a modelled operation for costing and breakdown
-// aggregation. The names mirror the paper's task legend in Fig. 3.
+// aggregation. The names mirror the paper's task legend in Fig. 3 and
+// alias the canonical sim vocabulary (sim/vocab.go) where they coincide.
 type OpKind string
 
 const (
-	OpA2A     OpKind = "AlltoAll"      // hierarchical (2DH) AlltoAll, inter-node
-	OpA2AFlat OpKind = "AlltoAll-flat" // direct NCCL AlltoAll (DeepSpeed-MoE)
-	OpAG      OpKind = "AllGather"     // ESP-AllGather, intra-node
-	OpRS      OpKind = "ReduceScatter" // ESP-ReduceScatter, intra-node
-	OpAR      OpKind = "AllReduce"     // Gradient-AllReduce, inter-node
-	OpGEMM    OpKind = "GEMM"          // expert / attention compute
+	OpA2A     OpKind = sim.KindAlltoAll      // hierarchical (2DH) AlltoAll, inter-node
+	OpA2AFlat OpKind = "AlltoAll-flat"       // direct NCCL AlltoAll (DeepSpeed-MoE)
+	OpAG      OpKind = sim.KindAllGather     // ESP-AllGather, intra-node
+	OpRS      OpKind = sim.KindReduceScatter // ESP-ReduceScatter, intra-node
+	OpAR      OpKind = sim.KindAllReduce     // Gradient-AllReduce, inter-node
+	OpGEMM    OpKind = "GEMM"                // expert / attention compute
 )
 
 // Cost returns the ground-truth duration in milliseconds for an operation
