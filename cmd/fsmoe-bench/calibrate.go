@@ -56,7 +56,7 @@ func emitCalibrationFits(cfg realpipeConfig, cal *fsmoe.Calibration) {
 		fmt.Sprintf("%s M=%d H=%d E=%d N=%d: fitted cost models (plan-estimate units)",
 			cfg.name, cfg.m, cfg.h, cfg.e, cfg.tokens),
 		"kind", "alpha_ms", "beta_ms_per_unit", "R2", "samples")
-	for _, kind := range []string{"AlltoAll", "AllGather", "ReduceScatter", "Experts", fsmoe.KindAllReduce} {
+	for _, kind := range []string{fsmoe.KindAlltoAll, fsmoe.KindAllGather, fsmoe.KindReduceScatter, fsmoe.KindExperts, fsmoe.KindAllReduce} {
 		f, ok := cal.Fits[kind]
 		if !ok {
 			continue

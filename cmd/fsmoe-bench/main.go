@@ -28,9 +28,11 @@ import (
 	"os"
 	"sort"
 
+	"repro/fsmoe"
 	"repro/internal/core"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trainsim"
 	"repro/internal/workload"
@@ -43,6 +45,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write measured stream plans as Chrome trace-event JSON to this file (realpipe/chaos/telemetry)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), telemetry registry on /debug/vars")
 	flag.Parse()
+
+	// Every measured experiment runs with static plan verification on: a
+	// malformed schedule fails the experiment with a named error instead
+	// of deadlocking or mis-aggregating (see runtime.Plan.Verify).
+	fsmoe.SetVerifyPlans(true)
 
 	// Validate up front so a typo fails with the full menu instead of a
 	// bare "unknown experiment" at dispatch time.
@@ -104,7 +111,7 @@ func table2() error {
 		m := core.ModelsFromCluster(c)
 		tb := report.NewTable(
 			fmt.Sprintf("Testbed %s (B=4, L=1024)", c.Name),
-			"row", "AlltoAll", "AllReduce", "AllGather", "ReduceScatter", "Experts", "Others")
+			"row", sim.KindAlltoAll, sim.KindAllReduce, sim.KindAllGather, sim.KindReduceScatter, sim.KindExperts, sim.KindOthers)
 		for _, model := range []workload.ModelSpec{workload.GPT2XLMoE(c), workload.Mixtral7B(c)} {
 			cfg := model.Layer
 			cfg.B, cfg.L = 4, 1024
@@ -180,9 +187,9 @@ func fig5() error {
 		}
 		row("AlltoAll(2DH)", cm.A2A)
 		row("AlltoAll(flat)", cm.A2AFlat)
-		row("AllGather", cm.AG)
-		row("ReduceScatter", cm.RS)
-		row("AllReduce", cm.AR)
+		row(sim.KindAllGather, cm.AG)
+		row(sim.KindReduceScatter, cm.RS)
+		row(sim.KindAllReduce, cm.AR)
 		row("GEMM", cm.GEMM)
 		emit(tb)
 	}

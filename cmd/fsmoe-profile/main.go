@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/perfmodel"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -47,9 +48,9 @@ func main() {
 		}
 		row("AlltoAll (2DH)", cm.A2A)
 		row("AlltoAll (flat)", cm.A2AFlat)
-		row("AllGather", cm.AG)
-		row("ReduceScatter", cm.RS)
-		row("AllReduce", cm.AR)
+		row(sim.KindAllGather, cm.AG)
+		row(sim.KindReduceScatter, cm.RS)
+		row(sim.KindAllReduce, cm.AR)
 		row("GEMM", cm.GEMM)
 		fmt.Println(tb)
 		if doc != nil {

@@ -80,7 +80,7 @@ func main() {
 			}
 		}
 		fmt.Printf("hybrid g=%d bit-identical ✓  backward: AlltoAll=%d AllGather=%d ReduceScatter=%d on %d per-group stream(s)\n",
-			g, kinds["AlltoAll"], kinds["AllGather"], kinds["ReduceScatter"], len(groupStreams))
+			g, kinds[fsmoe.KindAlltoAll], kinds[fsmoe.KindAllGather], kinds[fsmoe.KindReduceScatter], len(groupStreams))
 	}
 
 	// Unset GroupSize: the 2-D Algorithm-1 grid picks the group size and

@@ -72,7 +72,7 @@ func main() {
 			kinds[iv.Task.Kind]++
 		}
 		fmt.Printf("strategy %-12s bit-identical ✓  backward collectives: AlltoAll=%d AllGather=%d ReduceScatter=%d\n",
-			w.Strategy(), kinds["AlltoAll"], kinds["AllGather"], kinds["ReduceScatter"])
+			w.Strategy(), kinds[fsmoe.KindAlltoAll], kinds[fsmoe.KindAllGather], kinds[fsmoe.KindReduceScatter])
 	}
 
 	// Dense routing: StrategyAuto resolves SoftMoE to DenseSlots and the

@@ -54,7 +54,7 @@ func TestCalibrateSweep(t *testing.T) {
 			t.Fatalf("measured hybrid volumes for g=%d invalid: %v", g, err)
 		}
 	}
-	for _, kind := range []string{"AlltoAll", "AllGather", "ReduceScatter", "Experts", KindAllReduce} {
+	for _, kind := range []string{KindAlltoAll, KindAllGather, KindReduceScatter, KindExperts, KindAllReduce} {
 		f, ok := cal.Fits[kind]
 		if !ok {
 			t.Fatalf("no fit for %s (have %v)", kind, cal.Fits)

@@ -1,0 +1,14 @@
+package fsmoe
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain enables static plan verification through the public toggle, so
+// every World any test builds has its stream plans structurally checked
+// before execution.
+func TestMain(m *testing.M) {
+	SetVerifyPlans(true)
+	os.Exit(m.Run())
+}

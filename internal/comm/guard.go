@@ -82,6 +82,29 @@ func GroupReduceScatterRowsGuarded(g Guard, group []int, data, out [][]float64, 
 	return GroupReduceScatterRows(group, data, out, gpusPerNode, dims, rr)
 }
 
+// RingAllGatherIntoGuarded is RingAllGatherInto behind a pre-transfer
+// Guard. The guard runs before any out buffer is written, so a guard
+// failure leaves the staging tensors untouched for a bit-safe retry.
+func RingAllGatherIntoGuarded(g Guard, out, data [][]float64, gpusPerNode int) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return RingAllGatherInto(out, data, gpusPerNode)
+}
+
+// RingReduceScatterIntoGuarded is RingReduceScatterInto behind a
+// pre-transfer Guard.
+func RingReduceScatterIntoGuarded(g Guard, out, data [][]float64, gpusPerNode int) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return RingReduceScatterInto(out, data, gpusPerNode)
+}
+
 // GroupRingAllGatherIntoGuarded is GroupRingAllGatherInto behind a
 // pre-transfer Guard.
 func GroupRingAllGatherIntoGuarded(g Guard, group []int, out, data [][]float64, gpusPerNode int) (Stats, error) {

@@ -1,0 +1,86 @@
+package lint
+
+// guardcheck: guarded-comm discipline. PR 6's in-collective fault
+// injection reaches a collective only through the comm.*Guarded entry
+// points (the guard runs before the first byte moves, so a transient
+// failure retries bit-safely). A strategy plan-builder that calls the
+// unguarded twin compiles and passes every bit-identity test — and
+// silently opts its collective out of chaos coverage. Inside the
+// plan-builder packages, any direct call to a comm function F for which
+// comm declares FGuarded is therefore a diagnostic.
+//
+// Deliberate exceptions (e.g. a sequential-baseline tail that receives its
+// fault injection at the task level instead) carry an explicit
+//
+//	//fsmoe:allow guardcheck <reason>
+//
+// comment; there is no implicit allowlist.
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// commPkgPath is the collective library whose Guarded twins the rule keys
+// on.
+const commPkgPath = "repro/internal/comm"
+
+// guardScopes lists the packages whose plan-building code must call
+// guarded collectives: the strategy builders in internal/moe and the
+// AllReduce-slice emission in internal/gradsync. (Tests may widen this
+// for fixtures.)
+var guardScopes = []string{
+	"repro/internal/moe",
+	"repro/internal/gradsync",
+}
+
+// GuardCheck is the guarded-collective analyzer.
+var GuardCheck = &Analyzer{
+	Name: "guardcheck",
+	Doc:  "flag unguarded comm collectives (where a *Guarded variant exists) in strategy plan-builders",
+	Run:  runGuardCheck,
+}
+
+func inGuardScope(path string) bool {
+	for _, s := range guardScopes {
+		if path == s {
+			return true
+		}
+	}
+	return false
+}
+
+func runGuardCheck(p *Package) []Diagnostic {
+	if !inGuardScope(p.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgSelector(p.Info, call, commPkgPath)
+			if !ok || strings.HasSuffix(name, "Guarded") {
+				return true
+			}
+			obj := p.Info.Uses[call.Fun.(*ast.SelectorExpr).Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Pkg().Scope().Lookup(name+"Guarded") == nil {
+				return true // no guarded twin; plain helper
+			}
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(call.Pos()),
+				Analyzer: "guardcheck",
+				Message: fmt.Sprintf("unguarded collective comm.%s: call comm.%sGuarded so in-collective fault injection reaches it (or annotate //fsmoe:allow guardcheck <reason>)",
+					name, name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package lint
+
+// kindcheck: the canonical task-kind/event vocabulary (internal/sim's
+// Kind* and Event* constants, declared in internal/sim/vocab.go) must be
+// referenced through the constants, never re-typed as raw string literals.
+// A raw "AlltoAll" compiles, runs, and silently fails to aggregate with
+// the canonical kind the moment anyone renames or extends the vocabulary;
+// keyed breakdowns, fault filters and retry allowlists all depend on exact
+// string equality. The only file allowed to spell the literals is the
+// vocabulary declaration itself.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// vocabConst maps each canonical string to the constant expression that
+// should be used instead. Built from the sim package itself, so the
+// analyzer can never drift from the vocabulary it enforces.
+var vocabConst = map[string]string{
+	sim.KindAlltoAll:      "sim.KindAlltoAll",
+	sim.KindAllGather:     "sim.KindAllGather",
+	sim.KindReduceScatter: "sim.KindReduceScatter",
+	sim.KindAllReduce:     "sim.KindAllReduce",
+	sim.KindExperts:       "sim.KindExperts",
+	sim.KindPack:          "sim.KindPack",
+	sim.KindOthers:        "sim.KindOthers",
+	sim.EventFault:        "sim.EventFault",
+	sim.EventRetry:        "sim.EventRetry",
+	sim.EventStraggler:    "sim.EventStraggler",
+	sim.EventSkip:         "sim.EventSkip",
+}
+
+// simPkgPath is the package whose vocab.go declares the canonical strings.
+const simPkgPath = "repro/internal/sim"
+
+// KindCheck is the vocabulary analyzer.
+var KindCheck = &Analyzer{
+	Name: "kindcheck",
+	Doc:  "forbid raw task-kind/event string literals outside internal/sim/vocab.go",
+	Run:  runKindCheck,
+}
+
+func runKindCheck(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for i, f := range p.Files {
+		if p.Path == simPkgPath && filepath.Base(p.Filenames[i]) == "vocab.go" {
+			continue // the declaration site
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			c, hit := vocabConst[s]
+			if !hit {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(lit.Pos()),
+				Analyzer: "kindcheck",
+				Message: fmt.Sprintf("raw vocabulary literal %q: use the canonical constant %s (internal/sim/vocab.go)",
+					s, c),
+			})
+			return true
+		})
+	}
+	return out
+}

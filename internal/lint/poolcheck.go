@@ -1,0 +1,243 @@
+package lint
+
+// poolcheck: static ownership checking for the tensor buffer free-list.
+// The contract (internal/tensor/pool.go): whoever calls Get/GetUninit owns
+// the buffer and must either Put it exactly once or hand ownership on
+// (return it, store it into a longer-lived structure, pass it to another
+// function); and Put must never be fed a View/Slice/Reshape result,
+// because a view aliases its parent's backing array. The runtime
+// SetPoolDebug guard catches the view case, but only when the guard is on
+// and the path actually executes; this analyzer is its compile-time twin.
+//
+// The analysis is per function body (each closure is its own unit —
+// ownership that crosses a closure boundary does so through a capture or
+// a store, which counts as an escape). It is deliberately conservative in
+// what it *reports*: any call argument, return, store, capture or
+// address-of counts as the buffer escaping to a new owner, so a
+// diagnostic means no Put and no plausible ownership hand-off exists —
+// or, for the path check, that an early return abandons a buffer the
+// function demonstrably still owns. False negatives are accepted; a lint
+// gate must not flag code that is merely clever.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const tensorPkgPath = "repro/internal/tensor"
+const fsmoePkgPath = "repro/fsmoe"
+
+// viewMethods are the *tensor.Tensor methods returning aliasing views.
+// (Row returns a raw []float64, which Put cannot accept, so it is not
+// listed.)
+var viewMethods = []string{"View", "Slice", "Reshape"}
+
+// PoolCheck is the pooled-tensor ownership analyzer.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "pooled tensors must reach Put or escape on every path; Put of a view is an error",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(p *Package) []Diagnostic {
+	if p.Path == tensorPkgPath {
+		return nil // the pool's own implementation
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, unit := range unitsOf(f) {
+			out = append(out, checkUnit(p, unit)...)
+		}
+	}
+	return out
+}
+
+// unitsOf returns every function body in the file: declared functions and
+// every function literal, each analyzed independently.
+func unitsOf(f *ast.File) []*ast.BlockStmt {
+	var units []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				units = append(units, fn.Body)
+			}
+		case *ast.FuncLit:
+			units = append(units, fn.Body)
+		}
+		return true
+	})
+	return units
+}
+
+// isGetCall / isPutCall match the free-list entry points, including the
+// public fsmoe re-exports.
+func isGetCall(p *Package, call *ast.CallExpr) bool {
+	if _, ok := pkgFuncCall(p.Info, call, tensorPkgPath, "Get", "GetUninit"); ok {
+		return true
+	}
+	_, ok := pkgFuncCall(p.Info, call, fsmoePkgPath, "GetTensor")
+	return ok
+}
+
+func isPutCall(p *Package, call *ast.CallExpr) bool {
+	if _, ok := pkgFuncCall(p.Info, call, tensorPkgPath, "Put"); ok {
+		return true
+	}
+	_, ok := pkgFuncCall(p.Info, call, fsmoePkgPath, "PutTensor")
+	return ok
+}
+
+// isViewCall reports whether e is a direct View/Slice/Reshape method call
+// on a tensor.
+func isViewCall(p *Package, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	return methodCallOn(p.Info, call, tensorPkgPath, "Tensor", viewMethods...)
+}
+
+// checkUnit analyzes one function body. Nested function literals are
+// separate units: their Get calls are skipped here, and a tracked
+// variable's appearance inside one counts as an escape.
+func checkUnit(p *Package, body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+
+	type tracked struct {
+		obj     types.Object
+		name    string
+		getPos  token.Pos
+		getCall *ast.CallExpr
+	}
+	var vars []tracked
+
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false // separate unit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// Put-of-view: tensor.Put(x.View(...)) or Put of a var assigned
+		// from a view call.
+		if isPutCall(p, call) && len(call.Args) == 1 {
+			arg := ast.Unparen(call.Args[0])
+			if m, ok := isViewCall(p, arg); ok {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(call.Pos()),
+					Analyzer: "poolcheck",
+					Message:  fmt.Sprintf("Put of a %s result: views alias their parent's backing array and are never pool-owned (runtime twin: tensor.SetPoolDebug)", m),
+				})
+			} else if id, ok := arg.(*ast.Ident); ok {
+				if m, ok := viewAssigned(p, body, id); ok {
+					out = append(out, Diagnostic{
+						Pos:      p.Fset.Position(call.Pos()),
+						Analyzer: "poolcheck",
+						Message:  fmt.Sprintf("Put of %q, which holds a %s view: views alias their parent's backing array and are never pool-owned", id.Name, m),
+					})
+				}
+			}
+			return true
+		}
+
+		if !isGetCall(p, call) {
+			return true
+		}
+
+		// Classify the Get by its immediate syntactic context.
+		parent := parentSkippingParens(stack)
+		switch pn := parent.(type) {
+		case *ast.ExprStmt:
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(call.Pos()),
+				Analyzer: "poolcheck",
+				Message:  "pooled tensor discarded: the Get result must be Put or handed to an owner",
+			})
+		case *ast.AssignStmt:
+			if len(pn.Lhs) == len(pn.Rhs) {
+				for i, rhs := range pn.Rhs {
+					if ast.Unparen(rhs) != ast.Node(call) {
+						continue
+					}
+					if id, ok := pn.Lhs[i].(*ast.Ident); ok {
+						if id.Name == "_" {
+							out = append(out, Diagnostic{
+								Pos:      p.Fset.Position(call.Pos()),
+								Analyzer: "poolcheck",
+								Message:  "pooled tensor assigned to _: the Get result must be Put or handed to an owner",
+							})
+						} else if obj := objectOf(p.Info, id); obj != nil {
+							vars = append(vars, tracked{obj: obj, name: id.Name, getPos: call.Pos(), getCall: call})
+						}
+					}
+					// Non-ident LHS (slice element, field) is a store —
+					// ownership escapes; fine.
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range pn.Values {
+				if ast.Unparen(rhs) != ast.Node(call) || i >= len(pn.Names) {
+					continue
+				}
+				id := pn.Names[i]
+				if id.Name == "_" {
+					continue
+				}
+				if obj := objectOf(p.Info, id); obj != nil {
+					vars = append(vars, tracked{obj: obj, name: id.Name, getPos: call.Pos(), getCall: call})
+				}
+			}
+		}
+		// Every other context (call argument, return, composite literal,
+		// store, channel send) hands the buffer to a new owner.
+		return true
+	})
+
+	for _, v := range vars {
+		obj := v.obj
+		use := classifyUses(p, body, obj, v.getPos)
+		if !use.put && !use.escape {
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(v.getPos),
+				Analyzer: "poolcheck",
+				Message:  fmt.Sprintf("pooled tensor %q is never Put and never escapes this function: the buffer leaks from the free-list", v.name),
+			})
+			continue
+		}
+		if use.deferredPut {
+			continue // a deferred Put covers every return path
+		}
+		// Early-return leak: a return after the Get, on a path where the
+		// buffer was not yet Put or handed off, abandons it.
+		for _, ret := range returnsAfter(body, v.getCall.End()) {
+			if usesObject(p.Info, ret, obj) {
+				continue // returned (or used in the return) — ownership moves out
+			}
+			if pathConsumes(p, body, ret, obj) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(ret.Pos()),
+				Analyzer: "poolcheck",
+				Message:  fmt.Sprintf("return leaks pooled tensor %q (Get at line %d): Put it (or hand it off) before this return", v.name, p.Fset.Position(v.getPos).Line),
+			})
+		}
+	}
+	return out
+}
+
+// parentSkippingParens returns the nearest non-paren ancestor.
+func parentSkippingParens(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}

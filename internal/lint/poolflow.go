@@ -1,0 +1,314 @@
+package lint
+
+// Flow helpers for poolcheck: classifying every use of a tracked pooled
+// tensor inside its function body, and walking the statement path from
+// the Get to each return to decide whether the buffer was consumed (Put
+// or handed off) before control leaves.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// useKind classifies one identifier occurrence of a tracked variable.
+type useKind int
+
+const (
+	useNone   useKind = iota // non-consuming read (method receiver, comparison, index)
+	usePut                   // argument of tensor.Put / fsmoe.PutTensor
+	useEscape                // ownership hand-off: call arg, return, store, capture, &, send
+)
+
+// useSummary aggregates a variable's uses across the unit.
+type useSummary struct {
+	put         bool
+	escape      bool
+	deferredPut bool // a defer runs Put (directly or via a captured closure)
+}
+
+// classifyUses walks the whole unit (including nested function literals —
+// a capture is an escape) and classifies every occurrence of obj after
+// the Get position.
+func classifyUses(p *Package, body *ast.BlockStmt, obj types.Object, getPos token.Pos) useSummary {
+	var sum useSummary
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= getPos || objectOf(p.Info, id) != obj {
+			return true
+		}
+		switch classifyIdentUse(p, id, stack) {
+		case usePut:
+			sum.put = true
+			if underDefer(stack) {
+				sum.deferredPut = true
+			}
+		case useEscape:
+			sum.escape = true
+			if capturedInDeferredClosure(p, id, stack, obj) {
+				sum.deferredPut = true
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// classifyIdentUse decides what one occurrence of the variable does with
+// the buffer. The default for unrecognized contexts is useEscape: poolcheck
+// must not report a leak for a use form it does not understand.
+func classifyIdentUse(p *Package, id *ast.Ident, stack []ast.Node) useKind {
+	// A capture inside a nested function literal transfers ownership to
+	// the closure.
+	for _, a := range stack {
+		if _, ok := a.(*ast.FuncLit); ok {
+			return useEscape
+		}
+	}
+	parent := parentSkippingParens(stack)
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		if pn.X == ast.Expr(id) {
+			return useNone // t.Data(), t.Shape() — a read, not a hand-off
+		}
+		return useEscape
+	case *ast.BinaryExpr, *ast.CaseClause, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt:
+		return useNone // comparisons and conditions
+	case *ast.IndexExpr:
+		return useNone
+	case *ast.CallExpr:
+		for _, arg := range pn.Args {
+			if ast.Unparen(arg) == ast.Expr(id) {
+				if isPutCall(p, pn) {
+					return usePut
+				}
+				return useEscape
+			}
+		}
+		return useNone // the callee position (impossible for a tensor) or type conversion base
+	case *ast.AssignStmt:
+		for _, l := range pn.Lhs {
+			if ast.Unparen(l) == ast.Expr(id) {
+				return useNone // reassignment of the variable itself
+			}
+		}
+		return useEscape // appears in an RHS: the value is stored somewhere
+	default:
+		return useEscape
+	}
+}
+
+// underDefer reports whether the innermost enclosing call of the stack is
+// the direct call of a DeferStmt (defer tensor.Put(t)).
+func underDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			return false // inside a closure body, not the deferred call itself
+		}
+	}
+	return false
+}
+
+// capturedInDeferredClosure reports the `defer func() { ... tensor.Put(t)
+// ... }()` pattern: the identifier sits inside a function literal that is
+// the deferred call, and the closure body Puts the object.
+func capturedInDeferredClosure(p *Package, id *ast.Ident, stack []ast.Node, obj types.Object) bool {
+	var lit *ast.FuncLit
+	deferred := false
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch t := stack[i].(type) {
+		case *ast.FuncLit:
+			lit = t
+		case *ast.DeferStmt:
+			deferred = lit != nil && ast.Unparen(t.Call.Fun) == ast.Expr(lit)
+		}
+	}
+	if !deferred || lit == nil {
+		return false
+	}
+	// The closure must actually Put the object (any occurrence as a Put
+	// argument suffices; the closure may do so through a loop variable, in
+	// which case the capture was an append-style escape handled elsewhere).
+	puts := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPutCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid, ok := ast.Unparen(arg).(*ast.Ident); ok && objectOf(p.Info, aid) == obj {
+				puts = true
+			}
+		}
+		return true
+	})
+	return puts
+}
+
+// viewAssigned reports whether the variable id denotes was (anywhere in
+// the unit) assigned the result of a view call — making a later Put of it
+// a static error.
+func viewAssigned(p *Package, body *ast.BlockStmt, id *ast.Ident) (string, bool) {
+	obj := objectOf(p.Info, id)
+	if obj == nil {
+		return "", false
+	}
+	method := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			if len(t.Lhs) != len(t.Rhs) {
+				return true
+			}
+			for i, l := range t.Lhs {
+				lid, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok || objectOf(p.Info, lid) != obj {
+					continue
+				}
+				if m, ok := isViewCall(p, t.Rhs[i]); ok {
+					method = m
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range t.Names {
+				if objectOf(p.Info, name) != obj || i >= len(t.Values) {
+					continue
+				}
+				if m, ok := isViewCall(p, t.Values[i]); ok {
+					method = m
+				}
+			}
+		}
+		return true
+	})
+	return method, method != ""
+}
+
+// returnsAfter collects the unit's own return statements (not those of
+// nested function literals) located after pos.
+func returnsAfter(body *ast.BlockStmt, pos token.Pos) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > pos {
+			out = append(out, ret)
+		}
+		return true
+	})
+	return out
+}
+
+// stmtConsumes reports whether any use of obj inside n (including nested
+// closures and conditional branches — optimistically) is a Put or an
+// escape. Optimism here trades false negatives for zero false positives:
+// a conditionally-consuming statement exonerates later returns.
+func stmtConsumes(p *Package, n ast.Node, obj types.Object) bool {
+	consumed := false
+	walkStack(n, func(c ast.Node, stack []ast.Node) bool {
+		if consumed {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok || objectOf(p.Info, id) != obj {
+			return true
+		}
+		if k := classifyIdentUse(p, id, stack); k == usePut || k == useEscape {
+			consumed = true
+		}
+		return true
+	})
+	return consumed
+}
+
+// containsNode reports whether outer's source range covers inner.
+func containsNode(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+// pathConsumes walks the statement path from the top of the unit to the
+// target return and reports whether obj is consumed before control
+// reaches it.
+func pathConsumes(p *Package, body *ast.BlockStmt, target *ast.ReturnStmt, obj types.Object) bool {
+	consumed, _ := walkPath(p, body.List, target, obj, false)
+	return consumed
+}
+
+// walkPath scans stmts in order: statements wholly before the one
+// containing target contribute their (possibly conditional) consumption;
+// the containing statement is descended into. Returns (consumed, found).
+func walkPath(p *Package, stmts []ast.Stmt, target *ast.ReturnStmt, obj types.Object, consumed bool) (bool, bool) {
+	for _, s := range stmts {
+		if !containsNode(s, target) {
+			if !consumed && stmtConsumes(p, s, obj) {
+				consumed = true
+			}
+			continue
+		}
+		if s == ast.Stmt(target) {
+			return consumed, true
+		}
+		return descendPath(p, s, target, obj, consumed)
+	}
+	return consumed, false
+}
+
+// descendPath recurses into the compound statement containing target.
+func descendPath(p *Package, s ast.Stmt, target *ast.ReturnStmt, obj types.Object, consumed bool) (bool, bool) {
+	switch t := s.(type) {
+	case *ast.BlockStmt:
+		return walkPath(p, t.List, target, obj, consumed)
+	case *ast.LabeledStmt:
+		return descendPath(p, t.Stmt, target, obj, consumed)
+	case *ast.IfStmt:
+		if t.Init != nil && !consumed && stmtConsumes(p, t.Init, obj) {
+			consumed = true
+		}
+		if containsNode(t.Body, target) {
+			return walkPath(p, t.Body.List, target, obj, consumed)
+		}
+		if t.Else != nil && containsNode(t.Else, target) {
+			return descendPath(p, t.Else, target, obj, consumed)
+		}
+	case *ast.ForStmt:
+		if t.Init != nil && !consumed && stmtConsumes(p, t.Init, obj) {
+			consumed = true
+		}
+		if containsNode(t.Body, target) {
+			return walkPath(p, t.Body.List, target, obj, consumed)
+		}
+	case *ast.RangeStmt:
+		if containsNode(t.Body, target) {
+			return walkPath(p, t.Body.List, target, obj, consumed)
+		}
+	case *ast.SwitchStmt:
+		return descendCases(p, t.Body, target, obj, consumed)
+	case *ast.TypeSwitchStmt:
+		return descendCases(p, t.Body, target, obj, consumed)
+	case *ast.SelectStmt:
+		return descendCases(p, t.Body, target, obj, consumed)
+	}
+	// Unknown containing statement: be safe and treat the path as
+	// consuming (never report through structure we do not model).
+	return true, true
+}
+
+// descendCases finds the case/comm clause containing target.
+func descendCases(p *Package, body *ast.BlockStmt, target *ast.ReturnStmt, obj types.Object, consumed bool) (bool, bool) {
+	for _, cs := range body.List {
+		if !containsNode(cs, target) {
+			continue
+		}
+		switch t := cs.(type) {
+		case *ast.CaseClause:
+			return walkPath(p, t.Body, target, obj, consumed)
+		case *ast.CommClause:
+			return walkPath(p, t.Body, target, obj, consumed)
+		}
+	}
+	return true, true // not found in any clause: stay silent
+}

@@ -1,0 +1,30 @@
+// Package kindbad is a kindcheck golden fixture: raw task-kind and
+// event-type literals must be flagged with a pointer at the canonical
+// constant, and non-vocabulary strings must not.
+package kindbad
+
+// kinds maps raw vocabulary literals — every one a finding.
+var kinds = map[string]int{
+	"AlltoAll":      1, // want `raw vocabulary literal "AlltoAll"`
+	"AllGather":     2, // want `raw vocabulary literal "AllGather"`
+	"ReduceScatter": 3, // want `raw vocabulary literal "ReduceScatter"`
+	"Experts":       4, // want `raw vocabulary literal "Experts"`
+}
+
+// events re-types the event vocabulary.
+func events() []string {
+	return []string{
+		"fault", // want `raw vocabulary literal "fault"`
+		"retry", // want `raw vocabulary literal "retry"`
+	}
+}
+
+// allowed is explicitly allowlisted and must stay silent.
+func allowed() string {
+	//fsmoe:allow kindcheck fixture: documenting the wire value itself
+	return "AllReduce"
+}
+
+// clean strings share words with the vocabulary without matching a
+// canonical value exactly — no findings.
+var clean = []string{"AlltoAll(2DH)", "alltoall", "GEMM", "Pack it up", ""}

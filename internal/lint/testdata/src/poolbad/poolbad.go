@@ -1,0 +1,115 @@
+// Package poolbad is a poolcheck golden fixture: each `want` comment names
+// the diagnostic the analyzer must produce on that line, and the clean
+// functions at the bottom must produce none.
+package poolbad
+
+import "repro/internal/tensor"
+
+// leak never Puts and never hands the buffer off.
+func leak(n int) float64 {
+	t := tensor.Get(n) // want `pooled tensor "t" is never Put and never escapes`
+	return t.Data()[0]
+}
+
+// discard drops the Get result on the floor.
+func discard(n int) {
+	tensor.Get(n) // want `pooled tensor discarded`
+}
+
+// blank assigns the Get result to the blank identifier.
+func blank(n int) {
+	_ = tensor.GetUninit(n) // want `pooled tensor assigned to _`
+}
+
+// earlyReturn abandons a still-owned buffer on the error path.
+func earlyReturn(n int, bad bool) int {
+	t := tensor.GetUninit(n)
+	if bad {
+		return -1 // want `return leaks pooled tensor "t"`
+	}
+	tensor.Put(t)
+	return n
+}
+
+// putDirectView feeds Put an aliasing view directly.
+func putDirectView(n int) {
+	t := tensor.Get(2 * n)
+	tensor.Put(t.Slice(0, n)) // want `Put of a Slice result`
+	tensor.Put(t)
+}
+
+// putViewVar feeds Put a variable holding a view.
+func putViewVar(n int) {
+	t := tensor.Get(2 * n)
+	v := t.View(0, n)
+	v.Data()[0] = 1
+	tensor.Put(v) // want `Put of "v", which holds a View view`
+	tensor.Put(t)
+}
+
+// allowed carries an explicit allowlist comment and must stay silent.
+func allowed(n int) float64 {
+	//fsmoe:allow poolcheck fixture: ownership parked in a global elsewhere
+	t := tensor.Get(n)
+	return t.Data()[0]
+}
+
+// --- clean patterns the analyzer must not flag ---
+
+// cleanDefer uses the deferred-Put idiom across an early return.
+func cleanDefer(n int, bad bool) int {
+	t := tensor.Get(n)
+	defer tensor.Put(t)
+	if bad {
+		return -1
+	}
+	return n
+}
+
+// cleanDeferClosure Puts through a deferred closure.
+func cleanDeferClosure(n int, bad bool) int {
+	t := tensor.Get(n)
+	defer func() { tensor.Put(t) }()
+	if bad {
+		return -1
+	}
+	return n
+}
+
+// cleanReturn hands ownership to the caller.
+func cleanReturn(n int) *tensor.Tensor {
+	return tensor.Get(n)
+}
+
+// cleanStaged appends staging buffers to a slice reclaimed by a deferred
+// closure — the comm gather/scatter idiom.
+func cleanStaged(n, k int) {
+	var staged []*tensor.Tensor
+	defer func() {
+		for _, t := range staged {
+			tensor.Put(t)
+		}
+	}()
+	for i := 0; i < k; i++ {
+		t := tensor.GetUninit(n)
+		staged = append(staged, t)
+	}
+}
+
+// cleanStore parks the buffer in a longer-lived structure.
+type holder struct{ t *tensor.Tensor }
+
+func cleanStore(h *holder, n int) {
+	h.t = tensor.GetUninit(n)
+}
+
+// cleanConditional Puts on one branch and escapes on the other before
+// returning.
+func cleanConditional(n int, keep bool) *tensor.Tensor {
+	t := tensor.Get(n)
+	if keep {
+		return t
+	}
+	tensor.Put(t)
+	return nil
+}

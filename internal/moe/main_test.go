@@ -1,0 +1,19 @@
+package moe
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestMain turns on every debug guard for the whole package: the tensor
+// pool's ownership checks and static plan verification. Every plan any
+// strategy builds in any test below therefore passes runtime.Plan.Verify,
+// and a malformed schedule fails the test that constructed it instead of
+// deadlocking.
+func TestMain(m *testing.M) {
+	tensor.SetPoolDebug(true)
+	SetVerifyPlans(true)
+	os.Exit(m.Run())
+}

@@ -190,13 +190,17 @@ func (s *espStrategy) hiddenExchange(w *World, p *runtime.Plan, label string, bu
 	}
 	// (R-1)·R messages of one per-rank block — the same total-bytes-moved
 	// convention as the other collective estimates.
+	agGuard := w.collGuard(collStream, KindAG)
 	ag := p.Add(fmt.Sprintf("AG%s", label), KindAG, collStream,
 		estElems((R-1)*R*blk), func() error {
 			for r := 0; r < R; r++ {
+				if outT[r] != nil {
+					tensor.Put(outT[r]) // a prior attempt's staging, reclaimed before re-Get
+				}
 				t := tensor.GetUninit(R * blk)
 				outT[r], outB[r] = t, t.Data()
 			}
-			st, err := comm.RingAllGatherInto(outB, send, w.cfg.GPUsPerNode)
+			st, err := comm.RingAllGatherIntoGuarded(agGuard, outB, send, w.cfg.GPUsPerNode)
 			if err != nil {
 				return err
 			}

@@ -184,16 +184,15 @@ func (s *hybridStrategy) laneA2A(w *World, send, recv [][]float64, dims comm.Blo
 	guard := w.collGuard("inter", KindA2A)
 	gpn := s.laneGpn(w)
 	return func() error {
-		if guard != nil {
-			if err := guard(); err != nil {
-				return err
-			}
-		}
+		// One guard invocation per attempt: lane 0 carries it, the
+		// remaining lanes of the same step run unguarded behind it.
+		lg := guard
 		for _, lane := range s.lanes {
-			st, err := comm.GroupAlltoAllRows(w.cfg.Algo, lane, send, recv, gpn, dims, rr)
+			st, err := comm.GroupAlltoAllRowsGuarded(lg, w.cfg.Algo, lane, send, recv, gpn, dims, rr)
 			if err != nil {
 				return err
 			}
+			lg = nil
 			w.addStats(st)
 		}
 		return nil

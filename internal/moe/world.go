@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	stdsync "sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -416,10 +417,25 @@ func computeStream(r int) string { return fmt.Sprintf("compute:%d", r) }
 
 const collStream = "intra"
 
+// verifyPlans gates runtime.Plan.Verify on every plan the World builds: a
+// debug flag (off by default — Verify walks the whole task table) tests
+// and the benchmarks turn on to catch malformed schedules at construction
+// instead of mid-execution.
+var verifyPlans atomic.Bool
+
+// SetVerifyPlans toggles static verification of every constructed plan
+// before it executes (process-wide).
+func SetVerifyPlans(on bool) { verifyPlans.Store(on) }
+
 // run executes a plan under the current mode — threading the fault
 // injector, retry policy and deadline in — records it, and returns the
 // joined task errors.
 func (w *World) run(p *runtime.Plan) error {
+	if verifyPlans.Load() {
+		if err := p.Verify(); err != nil {
+			return fmt.Errorf("moe: plan verification failed: %w", err)
+		}
+	}
 	if w.faults != nil {
 		p.SetFaultPlan(w.faults)
 	}

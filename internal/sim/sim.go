@@ -106,14 +106,6 @@ type Event struct {
 	Detail  string
 }
 
-// Event types recorded on measured traces.
-const (
-	EventFault     = "fault"     // an injected failure fired (transient or permanent)
-	EventRetry     = "retry"     // a transient failure is being retried after backoff
-	EventStraggler = "straggler" // an injected delay stalled the task
-	EventSkip      = "skip"      // the task was skipped by cooperative cancellation
-)
-
 // Trace is the result of running a Graph.
 type Trace struct {
 	Intervals []Interval

@@ -44,8 +44,16 @@ func Kinds() []string {
 	return []string{KindAlltoAll, KindAllGather, KindReduceScatter, KindAllReduce, KindExperts, KindPack, KindOthers}
 }
 
+// Canonical event-type strings recorded on measured traces.
+const (
+	EventFault     = "fault"     // an injected failure fired (transient or permanent)
+	EventRetry     = "retry"     // a transient failure is being retried after backoff
+	EventStraggler = "straggler" // an injected delay stalled the task
+	EventSkip      = "skip"      // the task was skipped by cooperative cancellation
+)
+
 // EventTypes returns the canonical event-type strings in presentation
-// order (see the Event* constants in sim.go).
+// order.
 func EventTypes() []string {
 	return []string{EventFault, EventRetry, EventStraggler, EventSkip}
 }
