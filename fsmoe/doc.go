@@ -161,6 +161,46 @@
 // multi-layer §5 steps around a degraded layer with every rank's
 // post-step replica still bit-identical.
 //
+// # Checkpoint/restore and elastic recovery
+//
+// Degraded mode keeps a step alive; checkpoints and recovery keep the
+// run alive. World.Snapshot / Checkpoint capture the complete training
+// state — parameters, step and collective-op counters, the gate's RNG —
+// and CheckpointManager persists it crash-consistently: the snapshot is
+// written to a temp file in the target directory, fsynced, and renamed
+// into place, so the final name only ever holds a complete file. The
+// format is versioned and integrity-checked (magic "FSMC", format
+// version, gob payload, CRC-64/ECMA trailer); corruption surfaces as a
+// typed error — ErrCheckpointTruncated, ErrCheckpointChecksum,
+// ErrCheckpointBadMagic, ErrCheckpointVersion — and an empty directory
+// as ErrNoCheckpoint. Restore validates every world against the
+// snapshot before mutating any of them, so a mismatched snapshot is
+// rejected without tearing the stack. Set StepConfig.Checkpoint (and
+// optionally CheckpointEvery) to snapshot the stack every n-th step
+// from inside the training loop; the written path returns on
+// StepResult.CheckpointPath.
+//
+// After a permanent rank loss, Recover (or World.Recover per layer)
+// rebuilds instead of limping: under RecoveryPolicy{Mode:
+// RecoverShrink} the world re-plans onto the largest surviving rank
+// count that still divides the expert count; RecoverRejoin keeps the
+// rank count, modeling a replacement host adopting the dead rank's
+// shard. The dead rank's experts are re-assigned, their checkpointed
+// weights re-placed through the guarded Broadcast collective (chaos
+// injection and traffic accounting reach the recovery path; transient
+// faults retry under the world's RetryPolicy), the strategy re-emits
+// its collective chains for the new topology — ESP and Hybrid fall back
+// to EP, whose layout any surviving rank count supports — and the fault
+// plan's down trigger is stripped so the rebuilt world is not re-killed
+// on its next pass. RecoveryReport (also via World.LastRecovery)
+// records mode, topology delta, restored step, moved experts,
+// re-placement traffic, retries and the measured MTTR; StepMetrics
+// carries Recoveries/RecoveryMS when a Sink is set. The recovery
+// contract: a recovered run is bit-identical to a fresh World built
+// directly on the surviving topology and restored from the same
+// snapshot, and Recover leaves exactly the state surface ResetHealth
+// would — no degraded residue distinguishes the two paths.
+//
 // # Observability
 //
 // The runtime reports what it executed. Set WorldConfig.Sink and every

@@ -1,0 +1,103 @@
+package fsmoe
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// TestRecoveryEndToEnd drives the whole public fault-tolerance surface:
+// periodic checkpoints through StepConfig, a permanent rank kill under
+// the seeded injector, elastic recovery from the latest snapshot, and
+// bit-identical continued training versus a reference run restarted from
+// the same checkpoint on the surviving topology.
+func TestRecoveryEndToEnd(t *testing.T) {
+	x := RandTensor(121, 96, 32)
+	dy := RandTensor(122, 96, 32)
+	mgr := &CheckpointManager{Dir: t.TempDir(), Keep: 3}
+	cfg := StepConfig{LR: 0.02, ChunkBytes: 64 << 10}
+
+	ws := syncTestStack(t, 2, 4)
+	ckptCfg := cfg
+	ckptCfg.Checkpoint = mgr
+	for s := 0; s < 2; s++ {
+		if _, err := StepStack(ws, x, dy, ckptCfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill rank 1; the step survives degraded, then the stack recovers.
+	ws[0].SetFaultPlan(NewFaultPlan(FaultSpec{Seed: 7, Down: &FaultDown{Rank: 1, Kind: KindExperts}}))
+	res, err := StepStack(ws, x, dy, cfg)
+	if err != nil {
+		t.Fatalf("degraded step must complete, got %v", err)
+	}
+	if len(res.Degraded) == 0 {
+		t.Fatal("rank-down never fired")
+	}
+	snap, err := mgr.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Recover(ws, snap, RecoveryPolicy{Mode: RecoverShrink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if rep.NewRanks != 2 || rep.RecoveryMS <= 0 || len(rep.MovedExperts) == 0 {
+			t.Fatalf("recovery report = %+v, want 4→2 shrink with moved experts and measured MTTR", rep)
+		}
+	}
+	if lr := ws[0].LastRecovery(); lr == nil || lr.DownRank != 1 {
+		t.Fatalf("LastRecovery = %+v, want the rank-1 rebuild", lr)
+	}
+
+	// Reference: a fresh 2-rank stack restored from the same checkpoint.
+	ref := syncTestStack(t, 2, 2)
+	if err := Restore(ref, snap); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		got, err := StepStack(ws, x, dy, cfg)
+		if err != nil {
+			t.Fatalf("post-recovery step %d: %v", s, err)
+		}
+		want, err := StepStack(ref, x, dy, cfg)
+		if err != nil {
+			t.Fatalf("reference step %d: %v", s, err)
+		}
+		for r := range want.RankParams {
+			for k := range want.RankParams[r] {
+				if got.RankParams[r][k] != want.RankParams[r][k] {
+					t.Fatalf("step %d: rank %d param %d diverges from reference restart", s, r, k)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoveryCorruptCheckpoint: a damaged snapshot file surfaces the
+// typed corruption error through the facade.
+func TestRecoveryCorruptCheckpoint(t *testing.T) {
+	ws := syncTestStack(t, 1, 4)
+	mgr := &CheckpointManager{Dir: t.TempDir()}
+	path, err := mgr.Save(Checkpoint(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.LoadLatest(); !errors.Is(err, ErrCheckpointChecksum) {
+		t.Fatalf("corrupt checkpoint load = %v, want ErrCheckpointChecksum", err)
+	}
+	empty := &CheckpointManager{Dir: t.TempDir()}
+	if _, err := empty.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir Latest = %v, want ErrNoCheckpoint", err)
+	}
+}

@@ -1,0 +1,95 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Ext is the snapshot file extension the Manager writes and scans for.
+const Ext = ".fsmc"
+
+// Manager owns a directory of step-numbered snapshots: Save writes
+// "step-%012d.fsmc" atomically and prunes old files beyond Keep, Latest
+// finds the highest-numbered snapshot, LoadLatest reads and verifies it.
+// The zero Keep retains everything.
+type Manager struct {
+	Dir  string
+	Keep int // snapshots to retain after each Save; <=0 keeps all
+}
+
+// pathFor is the canonical file name of a step's snapshot. Zero-padded
+// fixed width keeps lexical order equal to numeric order.
+func (m *Manager) pathFor(step int) string {
+	return filepath.Join(m.Dir, fmt.Sprintf("step-%012d%s", step, Ext))
+}
+
+// Save persists s under its step number and prunes beyond Keep, returning
+// the written path.
+func (m *Manager) Save(s *Snapshot) (string, error) {
+	if m.Dir == "" {
+		return "", fmt.Errorf("ckpt: manager needs a directory")
+	}
+	if err := os.MkdirAll(m.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("ckpt: save: %w", err)
+	}
+	path := m.pathFor(s.Step)
+	if err := Save(path, s); err != nil {
+		return "", err
+	}
+	if err := m.prune(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// List returns every snapshot path in the directory, oldest first.
+func (m *Manager) List() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(m.Dir, "step-*"+Ext))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: list: %w", err)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Latest returns the newest snapshot path, or ErrNoCheckpoint when the
+// directory holds none.
+func (m *Manager) Latest() (string, error) {
+	paths, err := m.List()
+	if err != nil {
+		return "", err
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("%w in %s", ErrNoCheckpoint, m.Dir)
+	}
+	return paths[len(paths)-1], nil
+}
+
+// LoadLatest reads and verifies the newest snapshot.
+func (m *Manager) LoadLatest() (*Snapshot, error) {
+	path, err := m.Latest()
+	if err != nil {
+		return nil, err
+	}
+	return Load(path)
+}
+
+// prune removes the oldest snapshots beyond Keep.
+func (m *Manager) prune() error {
+	if m.Keep <= 0 {
+		return nil
+	}
+	paths, err := m.List()
+	if err != nil {
+		return err
+	}
+	for len(paths) > m.Keep {
+		if err := os.Remove(paths[0]); err != nil {
+			return fmt.Errorf("ckpt: prune: %w", err)
+		}
+		paths = paths[1:]
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package comm
+
+import "fmt"
+
+// Broadcast copies root's buffer into every rank's buffer along the ring:
+// step s moves the data from rank (root+s) to rank (root+s+1), so p-1
+// messages of n elements each propagate the full buffer (NCCL's ring
+// broadcast shape). Buffers are updated in place; root's is untouched.
+// The elastic-recovery path uses it to re-place restored expert weights
+// onto their new owner ranks after a permanent rank loss.
+func Broadcast(data [][]float64, root, gpusPerNode int) (Stats, error) {
+	var st Stats
+	n, err := checkUniform(data)
+	if err != nil {
+		return st, err
+	}
+	p := len(data)
+	if root < 0 || root >= p {
+		return st, fmt.Errorf("comm: broadcast root %d out of range [0, %d)", root, p)
+	}
+	w := world{g: gpusPerNode}
+	for s := 0; s < p-1; s++ {
+		src := (root + s) % p
+		dst := (root + s + 1) % p
+		copy(data[dst], data[src])
+		st.add(w.sameNode(src, dst), n)
+	}
+	return st, nil
+}

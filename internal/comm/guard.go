@@ -105,6 +105,19 @@ func RingReduceScatterIntoGuarded(g Guard, out, data [][]float64, gpusPerNode in
 	return RingReduceScatterInto(out, data, gpusPerNode)
 }
 
+// BroadcastGuarded is Broadcast behind a pre-transfer Guard. The guard
+// runs before the first ring copy, so a guard failure leaves every
+// buffer untouched and the broadcast may be retried bit-safely — the
+// contract the recovery path's weight re-placement relies on.
+func BroadcastGuarded(g Guard, data [][]float64, root, gpusPerNode int) (Stats, error) {
+	if g != nil {
+		if err := g(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return Broadcast(data, root, gpusPerNode)
+}
+
 // GroupRingAllGatherIntoGuarded is GroupRingAllGatherInto behind a
 // pre-transfer Guard.
 func GroupRingAllGatherIntoGuarded(g Guard, group []int, out, data [][]float64, gpusPerNode int) (Stats, error) {

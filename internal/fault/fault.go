@@ -211,6 +211,21 @@ func (p *Plan) Spec() Spec {
 	return p.spec
 }
 
+// WithoutDown returns a plan identical to p with the permanent rank-down
+// trigger removed — the injector the recovered world keeps running under
+// after elastic recovery: the dead rank was re-placed, so replaying its
+// down event against the rebuilt topology would re-kill a healthy rank.
+// Transient, straggler and in-collective injection carry over unchanged.
+// Safe on a nil Plan (stays nil), and a no-op when no Down is configured.
+func (p *Plan) WithoutDown() *Plan {
+	if p == nil || p.spec.Down == nil {
+		return p
+	}
+	s := p.spec
+	s.Down = nil
+	return &Plan{spec: s}
+}
+
 // Decision is the injector's verdict for one task attempt, produced
 // before the task body runs: an optional straggler delay, then an
 // optional injected error.

@@ -167,3 +167,35 @@ func TestGuard(t *testing.T) {
 		t.Fatal("guard produced with CollectiveProb=0")
 	}
 }
+
+// TestWithoutDown: the recovery path strips only the permanent rank-down
+// trigger; transient and straggler injection carry over, and the original
+// plan is untouched. Nil and down-free plans pass through unchanged.
+func TestWithoutDown(t *testing.T) {
+	p := New(Spec{Seed: 3, TransientProb: 0.5, StragglerProb: 0.25,
+		Down: &Down{Rank: 1, Kind: "Experts"}})
+	q := p.WithoutDown()
+	if q == p {
+		t.Fatal("WithoutDown returned the same plan despite a Down")
+	}
+	if p.Spec().Down == nil {
+		t.Fatal("WithoutDown mutated the original plan")
+	}
+	if s := q.Spec(); s.Down != nil || s.TransientProb != 0.5 || s.StragglerProb != 0.25 || s.Seed != 3 {
+		t.Fatalf("stripped spec = %+v", s)
+	}
+	if d := q.Check("compute:1", "Experts", "E", 0, 0); IsPermanent(d.Err) {
+		t.Fatal("stripped plan still downs the rank")
+	}
+	if d := p.Check("compute:1", "Experts", "E", 0, 0); !IsPermanent(d.Err) {
+		t.Fatal("original plan lost its Down")
+	}
+	var nilPlan *Plan
+	if nilPlan.WithoutDown() != nil {
+		t.Fatal("nil plan must stay nil")
+	}
+	noDown := New(Spec{Seed: 1})
+	if noDown.WithoutDown() != noDown {
+		t.Fatal("down-free plan must pass through unchanged")
+	}
+}

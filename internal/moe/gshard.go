@@ -62,6 +62,13 @@ func (g *GShardGate) Params() []*Param { return []*Param{g.wg, g.wnoise} }
 // this to verify the noisy-path gradients numerically.
 func (g *GShardGate) SetFixedNoise(n *tensor.Tensor) { g.fixedNoise = n }
 
+// RNGState and SetRNGState implement RNGCarrier: the private noise
+// generator is the gate's only mutable non-parameter state, so
+// checkpointing it makes a restored training run replay the identical
+// noisy-gating stream.
+func (g *GShardGate) RNGState() (state, gamma uint64) { return g.rng.State() }
+func (g *GShardGate) SetRNGState(state, gamma uint64) { g.rng.SetState(state, gamma) }
+
 // Route implements Gate.
 func (g *GShardGate) Route(x *tensor.Tensor, train bool) (*DispatchPlan, *RouteCache, error) {
 	if err := checkGateInput(x, g.m); err != nil {

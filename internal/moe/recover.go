@@ -1,0 +1,292 @@
+package moe
+
+// Elastic recovery: the other half of PR 6's fault tolerance. Degraded
+// mode keeps a pass alive when a rank dies, but the world then degrades
+// monotonically — lost expert state is gone and the dead experts stay
+// frozen until a manual ResetHealth. Recover instead rebuilds: the
+// training state rolls back to a checkpoint, the dead rank's experts are
+// re-assigned across the surviving ranks (shrink) or onto a replacement
+// rank (rejoin), the restored weights of every re-placed expert travel a
+// guarded Broadcast to their new owner (the FastMoE "shadowing" /
+// FlexMoE re-placement move, driven by failure instead of routing skew),
+// and the active strategy re-emits its collective chains for the new
+// placement on the next pass — plan construction derives entirely from
+// the world config, so no wire layout is patched in place.
+//
+// Strategy support: EP and DenseSlots recover as themselves. ESP and
+// Hybrid conservatively fall back to EP — their shard-group chains are
+// rebuilt most simply as pure expert parallelism, and the fallback is
+// bit-identical like every other strategy.
+//
+// Recovery is rollback-based: parameters, step counter, collective-op
+// counter and gate RNG state all return to the snapshot point, so a
+// recovered run is bit-identical to a fresh run restarted from the same
+// checkpoint on the same surviving topology (the headline contract,
+// asserted by TestWorldRecoverBitIdentical).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	"repro/internal/fault"
+)
+
+// RecoveryMode selects how the world is rebuilt around the dead rank.
+type RecoveryMode string
+
+const (
+	// RecoverShrink rebuilds on the surviving ranks: the new rank count is
+	// the largest R' < R dividing the expert count, and the contiguous
+	// owner mapping (expert e → rank e·R'/E) re-distributes every expert
+	// across the survivors.
+	RecoverShrink RecoveryMode = "shrink"
+	// RecoverRejoin keeps the rank count: the dead rank is replaced by a
+	// fresh worker that receives its expert shard from the checkpoint —
+	// the "failed worker replaced" transition, now with restored state
+	// instead of frozen parameters.
+	RecoverRejoin RecoveryMode = "rejoin"
+)
+
+// RecoveryPolicy configures Recover; the zero value shrinks.
+type RecoveryPolicy struct {
+	Mode RecoveryMode // default RecoverShrink
+}
+
+// recoverStream labels the recovery broadcasts for fault injection; it is
+// not a per-rank stream, so injected guard failures attribute to no rank.
+const recoverStream = "recover"
+
+// KindBcast is the task kind of the recovery weight re-placement
+// broadcasts (comm.BroadcastGuarded).
+const KindBcast = "Broadcast"
+
+// RecoveryReport describes one world's completed recovery.
+type RecoveryReport struct {
+	Mode     RecoveryMode
+	DownRank int // the rank whose loss triggered recovery
+
+	OldRanks, NewRanks       int
+	OldStrategy, NewStrategy Strategy
+
+	// RestoredStep is the step counter the world rolled back to.
+	RestoredStep int
+
+	// MovedExperts lists every expert whose owner rank changed — the
+	// experts whose restored weights travelled a recovery Broadcast.
+	MovedExperts []int
+
+	// Traffic is the weight re-placement broadcast volume; Retries counts
+	// transient guard failures absorbed while moving it.
+	Traffic comm.Stats
+	Retries int
+
+	// RecoveryMS is the wall time of the whole rebuild — the MTTR of this
+	// failure.
+	RecoveryMS float64
+}
+
+// Recover rebuilds this world around its permanently failed rank from a
+// snapshot. Most callers drive a whole stack through RecoverWorlds
+// instead; a single-layer world may recover directly.
+func (w *World) Recover(ws *ckpt.WorldState, pol RecoveryPolicy) (*RecoveryReport, error) {
+	if w.down < 0 {
+		return nil, fmt.Errorf("moe: recover: no rank is down (recovery follows a permanent failure)")
+	}
+	return w.recoverTo(ws, pol, w.down)
+}
+
+// RecoverWorlds rebuilds a stack around its permanently failed rank: the
+// down rank is located on whichever world saw the failure, and every
+// world — degraded or not — is rebuilt to the same surviving topology,
+// since a stack steps only at a uniform rank count.
+func RecoverWorlds(worlds []*World, s *ckpt.Snapshot, pol RecoveryPolicy) ([]*RecoveryReport, error) {
+	if s == nil {
+		return nil, fmt.Errorf("moe: recover needs a snapshot")
+	}
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("moe: recover needs at least one world")
+	}
+	if len(worlds) != len(s.Worlds) {
+		return nil, fmt.Errorf("moe: recover: stack has %d worlds, snapshot %d", len(worlds), len(s.Worlds))
+	}
+	down := -1
+	for _, w := range worlds {
+		if w.down >= 0 {
+			down = w.down
+		}
+	}
+	if down < 0 {
+		return nil, fmt.Errorf("moe: recover: no rank is down anywhere in the stack")
+	}
+	reports := make([]*RecoveryReport, len(worlds))
+	for i, w := range worlds {
+		rep, err := w.recoverTo(&s.Worlds[i], pol, down)
+		if err != nil {
+			return nil, fmt.Errorf("moe: recover layer %d: %w", i, err)
+		}
+		reports[i] = rep
+	}
+	return reports, nil
+}
+
+// recoverTo is the per-world rebuild. downRank is the failed rank the
+// stack is recovering around (this world itself may have been healthy).
+func (w *World) recoverTo(ws *ckpt.WorldState, pol RecoveryPolicy, downRank int) (*RecoveryReport, error) {
+	if w.closed {
+		return nil, fmt.Errorf("moe: recover: %w", ErrWorldClosed)
+	}
+	t0 := time.Now()
+	mode := pol.Mode
+	if mode == "" {
+		mode = RecoverShrink
+	}
+	e := len(w.layer.cfg.Experts)
+	oldR, oldEgrp := w.cfg.Ranks, w.egrp
+	newR := oldR
+	switch mode {
+	case RecoverRejoin:
+	case RecoverShrink:
+		newR = 0
+		for r := oldR - 1; r >= 1; r-- {
+			if e%r == 0 {
+				newR = r
+				break
+			}
+		}
+		if newR == 0 {
+			return nil, fmt.Errorf("moe: recover: no rank count below %d divides %d experts", oldR, e)
+		}
+	default:
+		return nil, fmt.Errorf("moe: recover: unknown mode %q (valid: %s, %s)", mode, RecoverShrink, RecoverRejoin)
+	}
+
+	// Conservative strategy fallback: shard-group strategies rebuild as EP.
+	newStrat, newGroup := w.cfg.Strategy, w.cfg.GroupSize
+	if newStrat == StrategyESP || newStrat == StrategyHybrid {
+		newStrat, newGroup = StrategyEP, 0
+	}
+	// The node shape must divide the new rank count; keep the largest
+	// valid width not exceeding the old one.
+	gpn := 1
+	for d := 1; d <= w.cfg.GPUsPerNode && d <= newR; d++ {
+		if newR%d == 0 {
+			gpn = d
+		}
+	}
+	newCfg := w.cfg
+	newCfg.Ranks, newCfg.Strategy, newCfg.GroupSize, newCfg.GPUsPerNode = newR, newStrat, newGroup, gpn
+	strat, err := strategyFor(newStrat)
+	if err != nil {
+		return nil, err
+	}
+	if err := strat.Validate(w.layer, newCfg); err != nil {
+		return nil, fmt.Errorf("moe: recover: %w", err)
+	}
+
+	rep := &RecoveryReport{
+		Mode:         mode,
+		DownRank:     downRank,
+		OldRanks:     oldR,
+		NewRanks:     newR,
+		OldStrategy:  w.cfg.Strategy,
+		NewStrategy:  newStrat,
+		RestoredStep: ws.Steps,
+	}
+
+	// Roll the full training state back to the snapshot: parameters, step
+	// counter, collective-op counter, gate RNG. Aborted-plan residue
+	// (partial gradients, partial parameter writes) dies here.
+	if err := w.Restore(ws); err != nil {
+		return nil, err
+	}
+
+	// Re-place weights: every expert whose owner changed under the new
+	// contiguous mapping — including the dead rank's whole shard in rejoin
+	// mode — receives its restored parameters over a guarded Broadcast
+	// from rank 0 (the checkpoint reader), so the recovery traffic is
+	// measured and chaos injection reaches it like any other collective.
+	newEgrp := e / newR
+	for ex := 0; ex < e; ex++ {
+		if ex/oldEgrp != ex/newEgrp || ex/oldEgrp == downRank {
+			rep.MovedExperts = append(rep.MovedExperts, ex)
+		}
+	}
+	attempts := w.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for _, ex := range rep.MovedExperts {
+		params := w.layer.cfg.Experts[ex].Params()
+		n := 0
+		for _, p := range params {
+			n += len(p.W.Data())
+		}
+		bufs := wireBuffers(newR, n)
+		off := 0
+		for _, p := range params {
+			copy(bufs[0][off:], p.W.Data())
+			off += len(p.W.Data())
+		}
+		guard := w.collGuard(recoverStream, KindBcast)
+		var st comm.Stats
+		for a := 0; ; a++ {
+			s, err := comm.BroadcastGuarded(guard, bufs, 0, gpn)
+			if err == nil {
+				st = s
+				break
+			}
+			if !fault.IsTransient(err) || a+1 >= attempts {
+				return nil, fmt.Errorf("moe: recover: broadcast expert %d weights: %w", ex, err)
+			}
+			rep.Retries++
+		}
+		rep.Traffic.Merge(st)
+		// The new owner's received copy is authoritative.
+		owner := ex / newEgrp
+		off = 0
+		for _, p := range params {
+			copy(p.W.Data(), bufs[owner][off:off+len(p.W.Data())])
+			off += len(p.W.Data())
+		}
+	}
+	w.addStats(rep.Traffic)
+
+	// Commit the new topology: swap the scoped pools to the new stream
+	// count, install the fresh strategy, strip the injector's down trigger
+	// (the dead rank no longer exists in the rebuilt world), and clear the
+	// health state exactly as a manual ResetHealth would.
+	for _, p := range w.computePools {
+		p.Close()
+	}
+	w.commPool.Close()
+	w.cfg = newCfg
+	w.egrp = newEgrp
+	w.strat = strat
+	w.planResources()
+	w.faults = w.faults.WithoutDown()
+	w.ResetHealth()
+
+	rep.RecoveryMS = time.Since(t0).Seconds() * 1e3
+	w.recov = append(w.recov, rep)
+	return rep, nil
+}
+
+// LastRecovery returns the most recent recovery report on this world, or
+// nil if it never recovered (pending reports are drained into step
+// telemetry by the next completed step).
+func (w *World) LastRecovery() *RecoveryReport {
+	if len(w.recov) == 0 {
+		return nil
+	}
+	return w.recov[len(w.recov)-1]
+}
+
+// drainRecoveries returns and clears the recovery reports accumulated
+// since the previous completed step — the step-telemetry feed.
+func (w *World) drainRecoveries() []*RecoveryReport {
+	r := w.recov
+	w.recov = nil
+	return r
+}

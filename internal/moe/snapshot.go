@@ -1,0 +1,159 @@
+package moe
+
+// Checkpointing: World.Snapshot captures everything a training run
+// mutates — gate and per-expert parameters, the step and collective-op
+// counters, and the private RNG state of noisy gates — and
+// World.Restore writes it back. The tensors are copied both ways, so a
+// snapshot taken before a fault is immune to the partial gradient and
+// parameter writes an aborted plan may have left behind. Serialization,
+// checksums and atomic file I/O live in internal/ckpt; this file is only
+// the mapping between a live World and its ckpt.WorldState.
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// RNGCarrier is implemented by gates holding private RNG state that
+// training mutates (GShard's noisy gating). Snapshot/Restore round-trip
+// it so a restored run replays the identical noise stream; stateless
+// gates simply don't implement it.
+type RNGCarrier interface {
+	RNGState() (state, gamma uint64)
+	SetRNGState(state, gamma uint64)
+}
+
+// snapTensor copies one parameter into its snapshot form.
+func snapTensor(p *Param) ckpt.Tensor {
+	return ckpt.Tensor{
+		Name:  p.Name,
+		Shape: append([]int(nil), p.W.Shape()...),
+		Data:  append([]float64(nil), p.W.Data()...),
+	}
+}
+
+// restoreTensor writes a snapshot tensor back into its parameter after
+// verifying identity: the name and element count must match, so a
+// snapshot is never silently applied to a differently-shaped layer.
+func restoreTensor(p *Param, t ckpt.Tensor, where string) error {
+	if p.Name != t.Name {
+		return fmt.Errorf("moe: restore %s: parameter %q does not match snapshot %q", where, p.Name, t.Name)
+	}
+	if len(p.W.Data()) != len(t.Data) {
+		return fmt.Errorf("moe: restore %s: parameter %q has %d elements, snapshot %d",
+			where, p.Name, len(p.W.Data()), len(t.Data))
+	}
+	copy(p.W.Data(), t.Data)
+	return nil
+}
+
+// Snapshot captures the world's full mutable training state. The world
+// must not be mid-pass; parameters are deep-copied, so later steps never
+// alias into the snapshot.
+func (w *World) Snapshot() *ckpt.WorldState {
+	ws := &ckpt.WorldState{Steps: w.steps, CollOps: w.collOps}
+	for _, p := range w.layer.cfg.Gate.Params() {
+		ws.Gate = append(ws.Gate, snapTensor(p))
+	}
+	ws.Experts = make([][]ckpt.Tensor, len(w.layer.cfg.Experts))
+	for e, ex := range w.layer.cfg.Experts {
+		for _, p := range ex.Params() {
+			ws.Experts[e] = append(ws.Experts[e], snapTensor(p))
+		}
+	}
+	if rc, ok := w.layer.cfg.Gate.(RNGCarrier); ok {
+		s, g := rc.RNGState()
+		ws.GateRNG = []ckpt.RNGState{{State: s, Gamma: g}}
+	}
+	return ws
+}
+
+// Restore writes a snapshot back into the world: every parameter, the
+// step and collective-op counters, and the gate's RNG state. Restoring
+// rolls the whole training state back to the snapshot point — partially
+// accumulated gradients are zeroed, since they belong to the abandoned
+// timeline. The world's topology (ranks, strategy, health) is untouched;
+// elastic recovery layers on top (see recover.go).
+func (w *World) Restore(ws *ckpt.WorldState) error {
+	if w.closed {
+		return fmt.Errorf("moe: restore: %w", ErrWorldClosed)
+	}
+	gate := w.layer.cfg.Gate.Params()
+	if len(gate) != len(ws.Gate) {
+		return fmt.Errorf("moe: restore: gate has %d parameters, snapshot %d", len(gate), len(ws.Gate))
+	}
+	if len(w.layer.cfg.Experts) != len(ws.Experts) {
+		return fmt.Errorf("moe: restore: layer has %d experts, snapshot %d",
+			len(w.layer.cfg.Experts), len(ws.Experts))
+	}
+	// Validate everything before writing anything, so a mismatched
+	// snapshot never leaves the layer half-restored.
+	for i, p := range gate {
+		if p.Name != ws.Gate[i].Name || len(p.W.Data()) != len(ws.Gate[i].Data) {
+			return fmt.Errorf("moe: restore: gate parameter %d is %q(%d), snapshot %q(%d)",
+				i, p.Name, len(p.W.Data()), ws.Gate[i].Name, len(ws.Gate[i].Data))
+		}
+	}
+	for e, ex := range w.layer.cfg.Experts {
+		ps := ex.Params()
+		if len(ps) != len(ws.Experts[e]) {
+			return fmt.Errorf("moe: restore: expert %d has %d parameters, snapshot %d",
+				e, len(ps), len(ws.Experts[e]))
+		}
+		for i, p := range ps {
+			if p.Name != ws.Experts[e][i].Name || len(p.W.Data()) != len(ws.Experts[e][i].Data) {
+				return fmt.Errorf("moe: restore: expert %d parameter %d is %q(%d), snapshot %q(%d)",
+					e, i, p.Name, len(p.W.Data()), ws.Experts[e][i].Name, len(ws.Experts[e][i].Data))
+			}
+		}
+	}
+	for i, p := range gate {
+		if err := restoreTensor(p, ws.Gate[i], "gate"); err != nil {
+			return err
+		}
+	}
+	for e, ex := range w.layer.cfg.Experts {
+		for i, p := range ex.Params() {
+			if err := restoreTensor(p, ws.Experts[e][i], fmt.Sprintf("expert %d", e)); err != nil {
+				return err
+			}
+		}
+	}
+	if rc, ok := w.layer.cfg.Gate.(RNGCarrier); ok && len(ws.GateRNG) > 0 {
+		rc.SetRNGState(ws.GateRNG[0].State, ws.GateRNG[0].Gamma)
+	}
+	w.steps = ws.Steps
+	w.collOps = ws.CollOps
+	w.layer.ZeroGrad()
+	return nil
+}
+
+// SnapshotWorlds captures a whole stack: one WorldState per layer in
+// stack order, stamped with the stack's completed-step count.
+func SnapshotWorlds(worlds []*World) *ckpt.Snapshot {
+	s := &ckpt.Snapshot{}
+	if len(worlds) > 0 {
+		s.Step = worlds[0].steps
+	}
+	for _, w := range worlds {
+		s.Worlds = append(s.Worlds, *w.Snapshot())
+	}
+	return s
+}
+
+// RestoreWorlds writes a stack snapshot back, layer by layer.
+func RestoreWorlds(worlds []*World, s *ckpt.Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("moe: restore needs a snapshot")
+	}
+	if len(worlds) != len(s.Worlds) {
+		return fmt.Errorf("moe: restore: stack has %d worlds, snapshot %d", len(worlds), len(s.Worlds))
+	}
+	for i, w := range worlds {
+		if err := w.Restore(&s.Worlds[i]); err != nil {
+			return fmt.Errorf("moe: restore layer %d: %w", i, err)
+		}
+	}
+	return nil
+}

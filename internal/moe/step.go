@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/gradsync"
 	"repro/internal/runtime"
@@ -57,6 +58,14 @@ type StepConfig struct {
 	// Plan.SimulateWith predictions). Strategies still place their
 	// AllReduce slices identically; only the executor changes.
 	Sequential bool
+
+	// Checkpoint, when non-nil, snapshots the whole stack after every
+	// CheckpointEvery-th completed step (default: every step) through the
+	// manager's atomic, checksummed writer — the state elastic recovery
+	// rolls back to after a permanent rank loss. A nil Checkpoint adds
+	// nothing to the step path.
+	Checkpoint      *ckpt.Manager
+	CheckpointEvery int
 }
 
 func (c StepConfig) withDefaults() StepConfig {
@@ -97,6 +106,10 @@ type StepResult struct {
 
 	Y  *tensor.Tensor // final forward output
 	DX *tensor.Tensor // input gradient
+
+	// CheckpointPath is the snapshot file this step wrote, when
+	// StepConfig.Checkpoint was configured and the step hit the cadence.
+	CheckpointPath string
 
 	// Metrics is the step's structured telemetry record, built — and
 	// emitted to every distinct configured sink — only when at least one
@@ -239,8 +252,28 @@ func StepWorlds(worlds []*World, x, dy *tensor.Tensor, cfg StepConfig) (*StepRes
 	for _, w := range worlds {
 		w.steps++
 	}
+	// Recovery reports accumulated since the previous completed step (the
+	// stack recovered between steps) drain into this step's telemetry;
+	// drained unconditionally so they never pile up sink-less.
+	var recovs []*RecoveryReport
+	for _, w := range worlds {
+		recovs = append(recovs, w.drainRecoveries()...)
+	}
+	if cfg.Checkpoint != nil {
+		every := cfg.CheckpointEvery
+		if every < 1 {
+			every = 1
+		}
+		if (step+1)%every == 0 {
+			path, err := cfg.Checkpoint.Save(SnapshotWorlds(worlds))
+			if err != nil {
+				return nil, fmt.Errorf("moe: step checkpoint: %w", err)
+			}
+			res.CheckpointPath = path
+		}
+	}
 	if sinks != nil {
-		res.Metrics = buildStepMetrics(worlds, caches, fwdTraces, res, step)
+		res.Metrics = buildStepMetrics(worlds, caches, fwdTraces, res, step, recovs)
 		for _, s := range sinks {
 			s.OnStep(res.Metrics)
 		}
@@ -292,7 +325,7 @@ func sameSink(a, b telemetry.Sink) bool {
 // per-stream busy time, fault/retry incidents), each layer's routing plan
 // (the FlexMoE per-expert load signal), the §5 sync report and the PR-5
 // resource plan. Called only when a sink is configured.
-func buildStepMetrics(worlds []*World, caches []*WorldCache, fwdTraces []*sim.Trace, res *StepResult, step int) *telemetry.StepMetrics {
+func buildStepMetrics(worlds []*World, caches []*WorldCache, fwdTraces []*sim.Trace, res *StepResult, step int, recovs []*RecoveryReport) *telemetry.StepMetrics {
 	w0 := worlds[0]
 	m := &telemetry.StepMetrics{
 		Step:      step,
@@ -317,6 +350,10 @@ func buildStepMetrics(worlds []*World, caches []*WorldCache, fwdTraces []*sim.Tr
 		m.DroppedTokens += c.pr.plan.Dropped
 	}
 	m.DegradedPasses = len(res.Degraded)
+	m.Recoveries = len(recovs)
+	for _, r := range recovs {
+		m.RecoveryMS += r.RecoveryMS
+	}
 	m.ComputeWorkers, m.CommWorkers = w0.ResourcePlan()
 	m.SyncHiddenBytes = res.Report.HiddenBytes
 	m.SyncTailBytes = res.Report.TailBytes

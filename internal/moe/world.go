@@ -76,6 +76,10 @@ type World struct {
 	closed   bool
 
 	steps int // completed training steps on this world (telemetry ordinal)
+
+	// recov accumulates elastic-recovery reports (recover.go) until the
+	// next completed step drains them into telemetry.
+	recov []*RecoveryReport
 }
 
 // BackwardSyncer receives inter-stream emit points while a backward plan
@@ -367,9 +371,17 @@ func (w *World) Health() []bool {
 	return h
 }
 
-// ResetHealth clears the rank-down state and the last degraded report —
-// the "failed worker replaced" transition back to full-strength stepping.
-func (w *World) ResetHealth() { w.down = -1; w.degraded = nil }
+// ResetHealth clears the rank-down state, the last degraded report, and
+// the aborted pass's stream plan and trace — the "failed worker replaced"
+// transition back to full-strength stepping. After ResetHealth the world
+// reports exactly the health state elastic recovery leaves behind
+// (recover.go), so tooling can treat the two transitions uniformly.
+func (w *World) ResetHealth() {
+	w.down = -1
+	w.degraded = nil
+	w.lastPlan = nil
+	w.lastTr = nil
+}
 
 // LastDegraded returns the degraded-mode report of the most recent pass,
 // or nil if the pass ran at full strength.

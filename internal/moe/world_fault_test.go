@@ -130,6 +130,99 @@ func TestWorldStragglerBitIdentical(t *testing.T) {
 	}
 }
 
+// TestWorldTransientBitIdenticalHybrid extends the chaos matrix to the
+// hybrid EP×ESP strategy: transient faults at the task level and inside
+// the group-scoped collectives themselves are retried until the pass
+// completes bit-identically, across group widths g ∈ {2, 4}.
+func TestWorldTransientBitIdenticalHybrid(t *testing.T) {
+	x := tensor.RandN(xrand.New(95), 1, 96, 32)
+	dy := tensor.RandN(xrand.New(96), 1, 96, 32)
+	spec := fault.Spec{
+		Seed: 99,
+		KindProb: map[string]float64{
+			KindA2A: 0.4, KindAG: 0.4, KindRS: 0.4,
+		},
+		CollectiveProb:       0.3,
+		MaxTransientsPerTask: 2,
+	}
+	layer := worldLayer(t, "gshard", TutelOrder{}, false, false)
+	want := runSequentialLayer(t, layer, x, dy)
+	totalFaults, totalRetries := 0, 0
+	for _, g := range []int{2, 4} {
+		for _, r := range []int{1, 2} {
+			label := fmt.Sprintf("strategy=hybrid g=%d r=%d", g, r)
+			cfg := WorldConfig{Ranks: 4, ChunksFwd: r, Strategy: StrategyHybrid, GroupSize: g}
+			got, ev := runFaultWorld(t, layer, cfg, fault.New(spec), x, dy)
+			compareSnapshots(t, label, want, got)
+			totalFaults += ev[sim.EventFault]
+			totalRetries += ev[sim.EventRetry]
+		}
+	}
+	if totalFaults == 0 || totalRetries == 0 {
+		t.Fatalf("hybrid chaos sweep observed %d faults / %d retries; injection never fired", totalFaults, totalRetries)
+	}
+}
+
+// TestWorldStragglerBitIdenticalHybrid: straggler delays inside the
+// hybrid group-scoped schedule stretch the makespan but never the bytes.
+func TestWorldStragglerBitIdenticalHybrid(t *testing.T) {
+	x := tensor.RandN(xrand.New(97), 1, 96, 32)
+	dy := tensor.RandN(xrand.New(98), 1, 96, 32)
+	layer := worldLayer(t, "gshard", TutelOrder{}, false, false)
+	want := runSequentialLayer(t, layer, x, dy)
+	fp := fault.New(fault.Spec{Seed: 5, StragglerProb: 0.3, StragglerDelay: 20 * time.Microsecond})
+	cfg := WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: StrategyHybrid, GroupSize: 2}
+	got, ev := runFaultWorld(t, layer, cfg, fp, x, dy)
+	compareSnapshots(t, "hybrid stragglers", want, got)
+	if ev[sim.EventStraggler] == 0 {
+		t.Fatal("hybrid straggler injection never fired")
+	}
+}
+
+// TestWorldDegradedHybrid: a permanent rank loss inside the hybrid
+// strategy's group-scoped schedule completes on the degraded path
+// deterministically, with the dead group members' experts frozen.
+func TestWorldDegradedHybrid(t *testing.T) {
+	x := tensor.RandN(xrand.New(99), 1, 96, 32)
+	dy := tensor.RandN(xrand.New(100), 1, 96, 32)
+	run := func() (worldSnapshot, *DegradedResult) {
+		layer := worldLayer(t, "gshard", TutelOrder{}, false, false)
+		w, err := NewWorld(layer, WorldConfig{Ranks: 4, ChunksFwd: 2, Strategy: StrategyHybrid, GroupSize: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetFaultPlan(fault.New(fault.Spec{Seed: 9, Down: &fault.Down{Rank: 2, Kind: KindExpert}}))
+		layer.ZeroGrad()
+		_, cache, err := w.Forward(x, false)
+		if err != nil {
+			t.Fatalf("hybrid degraded forward must complete, got %v", err)
+		}
+		if _, err := w.Backward(cache, dy); err != nil {
+			t.Fatalf("hybrid degraded backward must complete, got %v", err)
+		}
+		deg := w.LastDegraded()
+		if deg == nil {
+			t.Fatal("no DegradedResult after hybrid rank loss")
+		}
+		expectZeroGrads(t, layer, deg.LostExperts, "hybrid-degraded")
+		expectZeroGateGrads(t, layer, "hybrid-degraded")
+		return worldSnapshot{dx: x, y: x, grads: snapGrads(layer)}, deg
+	}
+	snap, deg := run()
+	if deg.Rank != 2 {
+		t.Fatalf("degraded rank = %d, want 2", deg.Rank)
+	}
+	if len(deg.LostExperts) == 0 {
+		t.Fatal("no experts reported lost")
+	}
+	snap2, deg2 := run()
+	compareSnapshots(t, "hybrid degraded determinism", snap, snap2)
+	if deg2.ReroutedTokens != deg.ReroutedTokens || deg2.DroppedTokens != deg.DroppedTokens {
+		t.Fatalf("hybrid degraded rerouting not deterministic: %d/%d vs %d/%d",
+			deg.ReroutedTokens, deg.DroppedTokens, deg2.ReroutedTokens, deg2.DroppedTokens)
+	}
+}
+
 // expectZeroGrads asserts every parameter gradient of the given experts
 // is exactly zero (dead experts are frozen in degraded mode).
 func expectZeroGrads(t *testing.T, l *MOELayer, experts []int, label string) {

@@ -61,6 +61,12 @@ type StepMetrics struct {
 	Skips          int `json:"skips"`
 	DegradedPasses int `json:"degraded_passes"`
 
+	// Elastic-recovery events completed since the previous step (PR 10):
+	// how many worlds rebuilt around a permanent rank loss, and the summed
+	// rebuild wall time — the step-level MTTR signal.
+	Recoveries int     `json:"recoveries,omitempty"`
+	RecoveryMS float64 `json:"recovery_ms,omitempty"`
+
 	// Resource plan occupancy (PR 5): the planned per-compute-stream
 	// worker share and the shared communication staging allotment.
 	ComputeWorkers int `json:"compute_workers"`

@@ -62,6 +62,16 @@ func (r *RNG) Uint64() uint64 {
 	return mix64(r.state)
 }
 
+// State exposes the generator's full internal state (state word and Weyl
+// increment) for checkpointing; SetState restores it. A generator whose
+// state was restored replays exactly the stream it would have produced —
+// the property crash-consistent snapshots of noisy-gating RNGs rely on.
+func (r *RNG) State() (state, gamma uint64) { return r.state, r.gamma }
+
+// SetState overwrites the generator's internal state with a pair
+// previously obtained from State.
+func (r *RNG) SetState(state, gamma uint64) { r.state, r.gamma = state, gamma }
+
 // Split returns a new generator whose stream is statistically independent
 // of the receiver's. Both generators remain usable.
 func (r *RNG) Split() *RNG {
